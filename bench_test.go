@@ -1,0 +1,459 @@
+// Benchmarks: one per experiment row of DESIGN.md §5. Each benchmark
+// regenerates the corresponding paper artifact — figure scenario, theorem
+// check or protocol comparison — and reports domain metrics alongside
+// ns/op: realized gaps, bound weights, graph sizes.
+//
+// Run with: go test -bench=. -benchmem
+package zigzag_test
+
+import (
+	"fmt"
+	"testing"
+
+	zigzag "github.com/clockless/zigzag"
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/live"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/pattern"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/scenario"
+	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/timing"
+	"github.com/clockless/zigzag/internal/workload"
+)
+
+// BenchmarkFigure1 (E1): the fork coordination decision — simulate the
+// Figure 1 network and run Protocol 2 for B.
+func BenchmarkFigure1(b *testing.B) {
+	sc := scenario.Figure1(scenario.DefaultFigure1())
+	var gap int
+	for i := 0; i < b.N; i++ {
+		r, err := sc.Simulate(sim.Lazy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil || !out.Acted {
+			b.Fatalf("acted=%v err=%v", out != nil && out.Acted, err)
+		}
+		gap = out.Gap
+	}
+	b.ReportMetric(float64(gap), "gap")
+}
+
+// BenchmarkFigure2a (E2): extract and verify the Equation (1) zigzag.
+func BenchmarkFigure2a(b *testing.B) {
+	p := scenario.DefaultFigure2()
+	sc := scenario.Figure2a(p)
+	r := sc.MustSimulate(sim.Eager{})
+	w, err := sc.Task.Wire(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bNode := run.BasicNode{Proc: sc.Proc("B"), Index: 1}
+	var weight int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gb := bounds.NewBasic(r)
+		z, wt, found, err := pattern.ExtractBasic(gb, w.ABasic, bNode)
+		if err != nil || !found {
+			b.Fatalf("found=%v err=%v", found, err)
+		}
+		if err := z.Verify(r); err != nil {
+			b.Fatal(err)
+		}
+		weight = wt
+	}
+	b.ReportMetric(float64(weight), "wt(Z)")
+	b.ReportMetric(float64(p.EquationOne()), "eq1")
+}
+
+// BenchmarkFigure2b (E3): the full visible-zigzag coordination decision.
+func BenchmarkFigure2b(b *testing.B) {
+	sc := scenario.Figure2b(scenario.DefaultFigure2())
+	r := sc.MustSimulate(sim.Lazy{})
+	var known int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil || !out.Acted {
+			b.Fatal(err)
+		}
+		known = out.KnownBound
+	}
+	b.ReportMetric(float64(known), "known_bound")
+}
+
+// BenchmarkFigure3 (E4): multi-hop fork weight extraction.
+func BenchmarkFigure3(b *testing.B) {
+	sc := scenario.Figure3(scenario.DefaultFigure3())
+	r := sc.MustSimulate(sim.Eager{})
+	head := run.BasicNode{Proc: sc.Proc("HEAD"), Index: 1}
+	tail := run.BasicNode{Proc: sc.Proc("TAIL"), Index: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gb := bounds.NewBasic(r)
+		if _, _, found, err := pattern.ExtractBasic(gb, tail, head); err != nil || !found {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 (E5): the three-fork sigma-visible zigzag decision.
+func BenchmarkFigure4(b *testing.B) {
+	sc := scenario.Figure4(scenario.DefaultFigure4())
+	r := sc.MustSimulate(sim.Eager{})
+	var forks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil || !out.Acted {
+			b.Fatal(err)
+		}
+		forks = out.Witness.Len()
+	}
+	b.ReportMetric(float64(forks), "forks")
+}
+
+// BenchmarkFigure6 (E6): basic bounds graph construction on the minimal
+// one-delivery run.
+func BenchmarkFigure6(b *testing.B) {
+	sc := scenario.Figure6(2, 5)
+	r := sc.MustSimulate(sim.Eager{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gb := bounds.NewBasic(r)
+		if gb.NumEdges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkFigure7 (E7): longest-path query behind Equation (1).
+func BenchmarkFigure7(b *testing.B) {
+	sc := scenario.Figure2a(scenario.DefaultFigure2())
+	r := sc.MustSimulate(sim.Eager{})
+	w, err := sc.Task.Wire(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bNode := run.BasicNode{Proc: sc.Proc("B"), Index: 1}
+	gb := bounds.NewBasic(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, found, err := gb.LongestBetween(w.ABasic, bNode); err != nil || !found {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 (E8): extended bounds graph construction at B's
+// decision node.
+func BenchmarkFigure8(b *testing.B) {
+	sc := scenario.Figure2b(scenario.DefaultFigure2())
+	r := sc.MustSimulate(sim.Eager{})
+	out, err := sc.Task.RunOptimal(r)
+	if err != nil || !out.Acted {
+		b.Fatal(err)
+	}
+	var edges int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext, err := bounds.NewExtended(r, out.ActNode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges = ext.NumEdges()
+	}
+	b.ReportMetric(float64(edges), "GE_edges")
+}
+
+// BenchmarkTheorem1 (T1): zigzag extraction + verification on random
+// instances.
+func BenchmarkTheorem1(b *testing.B) {
+	in := workload.MustGenerate(workload.DefaultConfig(1))
+	r, err := in.Simulate(sim.NewRandom(13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := in.WindowNodes(r)
+	s1, s2 := window[0], window[len(window)-1]
+	gb := bounds.NewBasic(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z, _, found, err := pattern.ExtractBasic(gb, s1, s2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if found {
+			if err := z.Verify(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTheorem2 (T2): the slow-run tightness construction.
+func BenchmarkTheorem2(b *testing.B) {
+	in := workload.MustGenerate(workload.DefaultConfig(2))
+	r, err := in.Simulate(sim.NewRandom(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := in.WindowNodes(r)
+	sigma2 := window[len(window)-1]
+	gb := bounds.NewBasic(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timing.BuildSlow(gb, sigma2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheorem4 (T4): knowledge query plus the fast-run tightness
+// construction.
+func BenchmarkTheorem4(b *testing.B) {
+	in := workload.MustGenerate(workload.DefaultConfig(3))
+	r, err := in.Simulate(sim.NewRandom(17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := in.WindowNodes(r)
+	sigma := window[len(window)-1]
+	ps, err := r.Past(sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var theta1 run.GeneralNode
+	for _, n := range window {
+		if ps.Contains(n) && !n.IsInitial() {
+			theta1 = run.At(n)
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext, err := bounds.NewExtended(r, sigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := ext.KnowledgeWeight(theta1, run.At(sigma)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := timing.BuildFast(r, sigma, theta1, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLocalVsExtended (DESIGN §5, ablation row): the cost of a
+// local-graph query vs a full extended-graph knowledge query — the price of
+// the auxiliary horizon vertices.
+func BenchmarkAblationLocalVsExtended(b *testing.B) {
+	in := workload.MustGenerate(workload.DefaultConfig(4))
+	r, err := in.Simulate(sim.NewRandom(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := in.WindowNodes(r)
+	sigma := window[len(window)-1]
+	ext, err := bounds.NewExtended(r, sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := ext.Past()
+	var s1 run.BasicNode
+	for _, n := range window {
+		if ps.Contains(n) && !n.IsInitial() {
+			s1 = n
+			break
+		}
+	}
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ext.LocalWeight(s1, sigma); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("extended", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := ext.KnowledgeWeight(run.At(s1), run.At(sigma)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLiveEngine: goroutine-per-process execution of Figure 2b with an
+// online Protocol-2 agent — the end-to-end cost of a live clockless system.
+func BenchmarkLiveEngine(b *testing.B) {
+	sc := scenario.Figure2b(scenario.DefaultFigure2())
+	for i := 0; i < b.N; i++ {
+		agent := &live.Protocol2{Task: *sc.Task}
+		res, err := live.Run(live.Config{
+			Net: sc.Net, Horizon: sc.Horizon, Policy: sim.Lazy{}, Externals: sc.Externals,
+			Agents: map[model.ProcID]live.Agent{sc.Task.B: agent},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Actions) == 0 {
+			b.Fatal("online agent never acted")
+		}
+	}
+}
+
+// BenchmarkLateCoordination (P1): optimal vs baseline on the Late sweep
+// topology (Figure 2b plus a weak feedback channel).
+func BenchmarkLateCoordination(b *testing.B) {
+	p := scenario.DefaultFigure2()
+	p.X = 3 // within reach of both protocols; the baseline still lags
+	sc0 := scenario.Figure2b(p)
+	sc, err := sc0.WithChannel("A", "B", 1, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sc.MustSimulate(sim.Lazy{})
+	var optAt, baseAt int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := sc.Task.RunOptimal(r)
+		if err != nil || !opt.Acted {
+			b.Fatal(err)
+		}
+		base, err := sc.Task.RunBaseline(r)
+		if err != nil || !base.Acted {
+			b.Fatal(err)
+		}
+		optAt, baseAt = opt.ActTime, base.ActTime
+	}
+	b.ReportMetric(float64(optAt), "optimal_t")
+	b.ReportMetric(float64(baseAt), "baseline_t")
+}
+
+// BenchmarkEarlyCoordination (P2): the Early decision on the takeoff
+// network (the baseline cannot act at all there).
+func BenchmarkEarlyCoordination(b *testing.B) {
+	sc := scenario.Takeoff(4)
+	r := sc.MustSimulate(sim.Lazy{})
+	var lead int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil || !out.Acted {
+			b.Fatal(err)
+		}
+		lead = -out.Gap
+	}
+	b.ReportMetric(float64(lead), "lead")
+}
+
+// BenchmarkScalingSimulate (B1): simulator throughput vs network size.
+func BenchmarkScalingSimulate(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := workload.DefaultConfig(int64(n))
+			cfg.Procs = n
+			cfg.ExtraChannels = 2 * n
+			in := workload.MustGenerate(cfg)
+			var nodes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := in.Simulate(sim.NewRandom(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = r.NumNodes()
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}
+
+// BenchmarkScalingBasicGraph (B1): GB construction vs network size.
+func BenchmarkScalingBasicGraph(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := workload.DefaultConfig(int64(n))
+			cfg.Procs = n
+			cfg.ExtraChannels = 2 * n
+			in := workload.MustGenerate(cfg)
+			r, err := in.Simulate(sim.NewRandom(5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var edges int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				edges = bounds.NewBasic(r).NumEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkScalingKnowledge (B1): extended graph + knowledge query vs
+// network size — the per-decision cost of Protocol 2.
+func BenchmarkScalingKnowledge(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := workload.DefaultConfig(int64(n))
+			cfg.Procs = n
+			cfg.ExtraChannels = 2 * n
+			in := workload.MustGenerate(cfg)
+			r, err := in.Simulate(sim.NewRandom(5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			window := in.WindowNodes(r)
+			sigma := window[len(window)-1]
+			ps, err := r.Past(sigma)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var theta1 run.GeneralNode
+			for _, node := range window {
+				if ps.Contains(node) && !node.IsInitial() {
+					theta1 = run.At(node)
+					break
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ext, err := bounds.NewExtended(r, sigma)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, _, err := ext.KnowledgeWeight(theta1, run.At(sigma)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFacadeRoundTrip exercises the public API end to end, as the
+// quickstart example does.
+func BenchmarkFacadeRoundTrip(b *testing.B) {
+	net, err := zigzag.NewNetwork(3).
+		Chan(1, 2, 1, 3).
+		Chan(1, 3, 8, 12).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := zigzag.Task{Kind: zigzag.Late, X: 5, A: 2, B: 3, C: 1, GoTime: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := task.Simulate(net, zigzag.LazyPolicy{}, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := task.RunOptimal(r)
+		if err != nil || !out.Acted {
+			b.Fatal(err)
+		}
+	}
+}

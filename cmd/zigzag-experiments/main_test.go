@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsPass is the harness's own regression test: every
+// experiment must pass with a reduced seed budget. Any drift between the
+// implementation and the paper's claims fails CI here.
+func TestAllExperimentsPass(t *testing.T) {
+	cfg := config{seeds: 3}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			if err := e.run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+// Package zigzag implements the theory of "On Using Time Without Clocks via
+// Zigzag Causality" (Dan, Manohar, Moses — PODC 2017): coordination in the
+// bounded communication model (bcm), where processes have no clocks or
+// timers, yet every channel carries known lower and upper bounds on message
+// transmission time.
+//
+// # The model
+//
+// A Network is a directed graph of processes with per-channel bounds
+// 1 <= L <= U. Processes are event-driven and follow a flooding
+// full-information protocol (FFIP): whenever a process receives anything it
+// immediately sends its entire history to every neighbour. The environment
+// (a Policy) chooses each message's latency within [L, U] and must deliver
+// by U. Simulate produces a Run: the recorded timelines, deliveries and
+// external inputs.
+//
+// # Zigzag causality
+//
+// A two-legged Fork is a pair of message chains out of one node; a Zigzag
+// chains forks so that each fork's head precedes the next fork's tail on a
+// shared timeline. Zigzag patterns are exactly the communication structures
+// that guarantee timed precedence between events (Theorems 1 and 2): the
+// pattern's weight — lower bounds up the head legs, minus upper bounds down
+// the tail legs, plus one per strict junction — bounds how much later the
+// head occurs than the tail.
+//
+// The package computes the tightest supported bound between any two nodes as
+// a longest path in the basic bounds graph (BasicGraph), extracts the
+// witnessing zigzag (Lemma 5), and certifies tightness by synthesizing the
+// slow run of Lemma 8 in which the bound is achieved with equality.
+//
+// # Knowledge and coordination
+//
+// What a single process can *know* about timing from its own observations is
+// captured by the extended bounds graph (ExtendedGraph) over its causal
+// past, with auxiliary horizon vertices standing for the earliest unseen
+// events on each timeline. K_sigma(theta1 --x--> theta2) holds exactly when
+// a constraint path of weight >= x exists — equivalently (Theorem 4), when a
+// sigma-visible zigzag of that weight exists; KnowledgeWeight computes the
+// strongest known bound and the witness pattern, and the fast run of
+// Definition 24 certifies its tightness.
+//
+// On top sit the timed coordination tasks of Definition 1 — Late<a --x--> b>
+// and Early<b --x--> a> — with the knowledge-optimal Protocol 2 for the
+// acting process and an asynchronous (happened-before only) baseline for
+// comparison. Early coordination is impossible asynchronously; in the bcm it
+// is routine.
+//
+// The implementation details live in internal packages; this package
+// re-exports the stable API. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-artifact reproductions.
+package zigzag

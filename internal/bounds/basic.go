@@ -1,0 +1,226 @@
+package bounds
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// ErrNotInGraph reports a query about a node that is not a vertex of the
+// graph at hand.
+var ErrNotInGraph = errors.New("bounds: node not in graph")
+
+// edgeKey disambiguates parallel edges for metadata lookup.
+type edgeKey struct {
+	u, v, w int
+}
+
+// Basic is the basic bounds graph GB(r) of Definition 8: vertices are the
+// basic nodes appearing in r; edges are successor edges of weight 1 and, per
+// message delivery, a forward edge of weight L and a backward edge of weight
+// -U. Every path encodes a sound timed-precedence constraint (Lemma 1), and
+// a longest path is the tightest constraint the run's communication pattern
+// supports (the heart of Theorem 2).
+type Basic struct {
+	r      *run.Run
+	g      *graph.Graph
+	offset []int // offset[p-1]: first vertex id of process p's nodes
+	meta   map[edgeKey]Step
+}
+
+// NewBasic constructs GB(r).
+func NewBasic(r *run.Run) *Basic {
+	net := r.Net()
+	b := &Basic{r: r, offset: make([]int, net.N()), meta: make(map[edgeKey]Step)}
+	total := 0
+	for _, p := range net.Procs() {
+		b.offset[p-1] = total
+		total += r.LastIndex(p) + 1
+	}
+	b.g = graph.New(total)
+
+	// Successor edges.
+	for _, p := range net.Procs() {
+		for k := 0; k < r.LastIndex(p); k++ {
+			u := run.BasicNode{Proc: p, Index: k}
+			v := u.Successor()
+			b.addEdge(StepSucc, NodePoint(run.At(u)), NodePoint(run.At(v)), 1)
+		}
+	}
+	// Message edges.
+	for _, d := range r.Deliveries() {
+		ch := d.Channel()
+		bd, _ := net.ChanBounds(ch.From, ch.To)
+		b.addEdge(StepLower, NodePoint(run.At(d.From)), NodePoint(run.At(d.To)), bd.Lower)
+		b.addEdge(StepUpper, NodePoint(run.At(d.To)), NodePoint(run.At(d.From)), -bd.Upper)
+	}
+	return b
+}
+
+func (b *Basic) addEdge(kind StepKind, from, to Point, w int) {
+	u := b.mustVertex(from.Node.Base)
+	v := b.mustVertex(to.Node.Base)
+	b.g.AddEdge(u, v, w)
+	b.meta[edgeKey{u, v, w}] = Step{Kind: kind, From: from, To: to, Weight: w}
+}
+
+// Run returns the underlying run.
+func (b *Basic) Run() *run.Run { return b.r }
+
+// Graph exposes the raw weighted graph (for scaling benchmarks and tests).
+func (b *Basic) Graph() *graph.Graph { return b.g }
+
+// NumVertices returns the number of basic nodes in the graph.
+func (b *Basic) NumVertices() int { return b.g.N() }
+
+// NumEdges returns the number of edges.
+func (b *Basic) NumEdges() int { return b.g.NumEdges() }
+
+// Vertex returns the vertex id of a basic node.
+func (b *Basic) Vertex(n run.BasicNode) (int, error) {
+	if !b.r.Appears(n) {
+		return 0, fmt.Errorf("%w: %s", ErrNotInGraph, n)
+	}
+	return b.offset[n.Proc-1] + n.Index, nil
+}
+
+func (b *Basic) mustVertex(n run.BasicNode) int {
+	v, err := b.Vertex(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// NodeOf inverts Vertex.
+func (b *Basic) NodeOf(v int) run.BasicNode {
+	for i := len(b.offset) - 1; i >= 0; i-- {
+		if v >= b.offset[i] {
+			return run.BasicNode{Proc: model.ProcID(i + 1), Index: v - b.offset[i]}
+		}
+	}
+	panic(fmt.Sprintf("bounds: vertex %d out of range", v))
+}
+
+// stepsOf reconstructs the Step metadata of a vertex path, using the
+// distance profile to pick the edge actually used between each pair.
+func (b *Basic) stepsOf(path []int, dist []int64) ([]Step, error) {
+	steps := make([]Step, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		w := int(dist[v] - dist[u])
+		st, ok := b.meta[edgeKey{u, v, w}]
+		if !ok {
+			// The tight edge may be heavier than the distance delta when a
+			// non-tight parallel edge exists; scan the adjacency for a
+			// matching recorded edge.
+			for _, e := range b.g.Out(u) {
+				if e.To == v {
+					if s2, ok2 := b.meta[edgeKey{u, v, e.Weight}]; ok2 && e.Weight == w {
+						st, ok = s2, true
+						break
+					}
+				}
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("bounds: missing edge metadata %d->%d (w=%d)", u, v, w)
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+// LongestBetween returns the tightest constraint weight x such that the
+// communication pattern of r guarantees sigma1 --x--> sigma2, together with
+// the constraint path realizing it. ok is false when GB(r) has no path from
+// sigma1 to sigma2 (no bound is supported at all).
+func (b *Basic) LongestBetween(sigma1, sigma2 run.BasicNode) (x int, steps []Step, ok bool, err error) {
+	u, err := b.Vertex(sigma1)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	v, err := b.Vertex(sigma2)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	dist, err := b.g.Longest(u)
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("bounds: GB(r) inconsistent: %w", err)
+	}
+	weight, path, ok, err := b.longestPathWithDist(u, v, dist)
+	if err != nil || !ok {
+		return 0, nil, ok, err
+	}
+	steps, err = b.stepsOf(path, dist)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return int(weight), steps, true, nil
+}
+
+func (b *Basic) longestPathWithDist(u, v int, dist []int64) (int64, []int, bool, error) {
+	if dist[v] == graph.NegInf {
+		return 0, nil, false, nil
+	}
+	// Delegate to the graph's tight-edge reconstruction; recomputing the
+	// distances there is acceptable for clarity, but we already have them,
+	// so use LongestPath directly.
+	return b.longestPathVia(u, v)
+}
+
+func (b *Basic) longestPathVia(u, v int) (int64, []int, bool, error) {
+	w, path, ok, err := b.g.LongestPath(u, v)
+	return w, path, ok, err
+}
+
+// DistancesInto returns, for every basic node, the weight of the longest
+// path from that node into sigma (NegInf entries mean "no path"). This is
+// d(.) of Definition 13 and drives the slow-timing construction.
+func (b *Basic) DistancesInto(sigma run.BasicNode) ([]int64, error) {
+	v, err := b.Vertex(sigma)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := b.g.LongestInto(v)
+	if err != nil {
+		return nil, fmt.Errorf("bounds: GB(r) inconsistent: %w", err)
+	}
+	return dist, nil
+}
+
+// PrecedenceSet returns V_sigma (Definition 12): the basic nodes with a path
+// to sigma in GB(r), as a membership predicate indexed by vertex id. The set
+// is p-closed (Lemma 6).
+func (b *Basic) PrecedenceSet(sigma run.BasicNode) ([]bool, error) {
+	v, err := b.Vertex(sigma)
+	if err != nil {
+		return nil, err
+	}
+	return b.g.ReachSet(v), nil
+}
+
+// CheckLemma1 verifies, against the run's actual times, that a step path is
+// sound: time(first) + sum(weights) <= time(last) and every intermediate
+// constraint holds. It returns the total weight.
+func (b *Basic) CheckLemma1(steps []Step) (int, error) {
+	total := 0
+	for _, s := range steps {
+		t1, err := b.r.Time(s.From.Node.Base)
+		if err != nil {
+			return 0, err
+		}
+		t2, err := b.r.Time(s.To.Node.Base)
+		if err != nil {
+			return 0, err
+		}
+		if t1+s.Weight > t2 {
+			return 0, fmt.Errorf("bounds: unsound step %s: times %d, %d", s, t1, t2)
+		}
+		total += s.Weight
+	}
+	return total, nil
+}

@@ -1,0 +1,180 @@
+package bounds
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Extended is the extended local bounds graph GE(r, sigma) of Definition 16.
+// Its vertices are the nodes of past(r, sigma) plus one auxiliary vertex
+// psi_i per process, standing for the earliest "over the horizon" delivery
+// on i's timeline. Everything sigma can deduce about relative timing — in
+// any run indistinguishable from r at sigma — corresponds to a path here.
+//
+// The graph is built from a run.View, i.e. from the *structure* of sigma's
+// causal past alone: no real-time information enters, which is what makes
+// the construction legitimate in the clockless model and usable by online
+// agents (internal/live) exactly as by offline analysis.
+//
+// Extended is also the construction site for knowledge queries:
+// VertexOfGeneral adds chain vertices for general nodes whose FFIP chains
+// leave the past, so that the constraint paths of Definitions 17-22 become
+// ordinary graph paths.
+type Extended struct {
+	view *run.View
+	past *run.PastSet
+	g    *graph.Graph
+
+	offset  []int // offset[p-1]: first vertex id of p's past nodes
+	auxBase int   // vertex id of psi_1
+	meta    map[edgeKey]Step
+
+	// chainVertices memoizes beyond-horizon chain vertices by their general
+	// node identity so that queried nodes sharing chain prefixes share
+	// vertices (required for the type-4 constraint paths of Definition 20).
+	chainVertices map[string]int
+	chainNodes    map[int]run.GeneralNode
+	extraVerts    int
+}
+
+// NewExtended constructs GE(r, sigma) from a recorded run.
+func NewExtended(r *run.Run, sigma run.BasicNode) (*Extended, error) {
+	view, err := run.ViewOf(r, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return NewExtendedFromView(view)
+}
+
+// NewExtendedFromView constructs the extended bounds graph from a subjective
+// view — the entry point for online (clockless) agents.
+func NewExtendedFromView(view *run.View) (*Extended, error) {
+	net := view.Net()
+	e := &Extended{
+		view:          view,
+		past:          view.PastSet(),
+		offset:        make([]int, net.N()),
+		meta:          make(map[edgeKey]Step),
+		chainVertices: make(map[string]int),
+		chainNodes:    make(map[int]run.GeneralNode),
+	}
+	total := 0
+	for _, p := range net.Procs() {
+		e.offset[p-1] = total
+		if bnd, ok := view.Boundary(p); ok {
+			total += bnd.Index + 1
+		}
+	}
+	e.auxBase = total
+	total += net.N()
+	e.g = graph.New(total)
+
+	// Induced GB(r, sigma) edges (Definition 14).
+	for _, p := range net.Procs() {
+		bnd, ok := view.Boundary(p)
+		if !ok {
+			continue
+		}
+		for k := 0; k < bnd.Index; k++ {
+			u := run.BasicNode{Proc: p, Index: k}
+			e.addEdge(StepSucc, NodePoint(run.At(u)), NodePoint(run.At(u.Successor())), 1)
+		}
+	}
+	for _, d := range view.Deliveries() {
+		// p-closedness of the past: the sender of a message received inside
+		// the past is inside the past.
+		ch := d.Channel()
+		bd, err := net.ChanBounds(ch.From, ch.To)
+		if err != nil {
+			return nil, err
+		}
+		e.addEdge(StepLower, NodePoint(run.At(d.From)), NodePoint(run.At(d.To)), bd.Lower)
+		e.addEdge(StepUpper, NodePoint(run.At(d.To)), NodePoint(run.At(d.From)), -bd.Upper)
+	}
+
+	// E': boundary_i -> psi_i, weight 1.
+	for _, p := range net.Procs() {
+		if bnd, ok := view.Boundary(p); ok {
+			e.addEdge(StepAuxEnter, NodePoint(run.At(bnd)), AuxPoint(p), 1)
+		}
+	}
+	// E'': psi_j -> sigma_i for messages leaving the past, weight -U_ij.
+	for _, pend := range view.Leaving() {
+		u := net.Upper(pend.From.Proc, pend.To)
+		e.addEdge(StepAuxExit, AuxPoint(pend.To), NodePoint(run.At(pend.From)), -u)
+	}
+	// E''': psi_j -> psi_i for every channel (i, j), weight -U_ij.
+	for _, ch := range net.Channels() {
+		u := net.Upper(ch.From, ch.To)
+		e.addEdge(StepAuxHop, AuxPoint(ch.To), AuxPoint(ch.From), -u)
+	}
+	return e, nil
+}
+
+func (e *Extended) addEdge(kind StepKind, from, to Point, w int) {
+	u := e.mustVertexOfPoint(from)
+	v := e.mustVertexOfPoint(to)
+	e.g.AddEdge(u, v, w)
+	e.meta[edgeKey{u, v, w}] = Step{Kind: kind, From: from, To: to, Weight: w}
+}
+
+func (e *Extended) mustVertexOfPoint(pt Point) int {
+	if pt.Aux {
+		return e.auxBase + int(pt.Proc) - 1
+	}
+	v, err := e.VertexOfPast(pt.Node.Base)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Net returns the network.
+func (e *Extended) Net() *model.Network { return e.view.Net() }
+
+// View returns the subjective view the graph was built from.
+func (e *Extended) View() *run.View { return e.view }
+
+// Past returns past(r, sigma) as a set.
+func (e *Extended) Past() *run.PastSet { return e.past }
+
+// Graph exposes the raw weighted graph.
+func (e *Extended) Graph() *graph.Graph { return e.g }
+
+// NumVertices returns the current number of vertices (past nodes, auxiliary
+// vertices and any chain vertices added by queries).
+func (e *Extended) NumVertices() int { return e.g.N() }
+
+// NumEdges returns the current number of edges.
+func (e *Extended) NumEdges() int { return e.g.NumEdges() }
+
+// VertexOfPast returns the vertex id of a past basic node.
+func (e *Extended) VertexOfPast(n run.BasicNode) (int, error) {
+	if !e.past.Contains(n) {
+		return 0, fmt.Errorf("%w: %s not in past(%s)", ErrNotInGraph, n, e.past.Origin())
+	}
+	return e.offset[n.Proc-1] + n.Index, nil
+}
+
+// AuxVertex returns the vertex id of psi_p.
+func (e *Extended) AuxVertex(p model.ProcID) int { return e.auxBase + int(p) - 1 }
+
+// PointOf inverts vertex ids back to Points (for introspection and the
+// figure renderings).
+func (e *Extended) PointOf(v int) Point {
+	if v >= e.auxBase && v < e.auxBase+e.view.Net().N() {
+		return AuxPoint(model.ProcID(v - e.auxBase + 1))
+	}
+	if g, ok := e.chainNodes[v]; ok {
+		return NodePoint(g)
+	}
+	for i := len(e.offset) - 1; i >= 0; i-- {
+		if v >= e.offset[i] {
+			return NodePoint(run.At(run.BasicNode{Proc: model.ProcID(i + 1), Index: v - e.offset[i]}))
+		}
+	}
+	panic(fmt.Sprintf("bounds: vertex %d out of range", v))
+}

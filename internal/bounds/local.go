@@ -1,0 +1,43 @@
+package bounds
+
+import (
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// LocalWeight computes the strongest precedence bound derivable from the
+// local bounds graph GB(r, sigma) alone (Definition 14) — i.e. with the
+// auxiliary horizon vertices and their E'/E”/E”' edges ablated. The paper
+// shows GB(r, sigma) "misses important information" (Section 5.1); this
+// method exists to measure exactly how much: experiments compare it against
+// KnowledgeWeight, and the difference is the value of the extended graph.
+//
+// Both nodes must be basic nodes of the past; chains beyond the horizon
+// cannot even be represented without the auxiliary vertices.
+func (e *Extended) LocalWeight(sigma1, sigma2 run.BasicNode) (kw int, known bool, err error) {
+	u, err := e.VertexOfPast(sigma1)
+	if err != nil {
+		return 0, false, err
+	}
+	v, err := e.VertexOfPast(sigma2)
+	if err != nil {
+		return 0, false, err
+	}
+	// Filter the graph to past-node vertices: everything below auxBase.
+	local := graph.New(e.auxBase)
+	for w := 0; w < e.auxBase; w++ {
+		for _, edge := range e.g.Out(w) {
+			if edge.To < e.auxBase {
+				local.AddEdge(w, edge.To, edge.Weight)
+			}
+		}
+	}
+	dist, err := local.Longest(u)
+	if err != nil {
+		return 0, false, err
+	}
+	if dist[v] == graph.NegInf {
+		return 0, false, nil
+	}
+	return int(dist[v]), true, nil
+}

@@ -1,0 +1,134 @@
+// Package bounds builds the paper's weighted constraint graphs over runs:
+//
+//   - the basic bounds graph GB(r) of Definition 8, whose longest paths are
+//     the tightest provable timed-precedence bounds between basic nodes
+//     (Lemma 1), and which underlies Theorem 2;
+//   - the extended bounds graph GE(r, sigma) of Definition 16, which captures
+//     exactly the timing information available to a node sigma from its
+//     subjective view of the run, including per-process auxiliary "horizon"
+//     vertices psi_i;
+//   - the knowledge query graph: GE(r, sigma) augmented with chain vertices
+//     for queried general nodes, whose simple paths are the constraint paths
+//     of Definitions 17-22 and whose longest paths compute knowledge of
+//     timed precedence (Theorem 4).
+//
+// Paths through these graphs are reported as []Step so that
+// internal/pattern can translate them into (sigma-visible) zigzag patterns,
+// following Lemmas 5 and 10-16 constructively.
+package bounds
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// StepKind classifies one edge of a constraint path.
+type StepKind int
+
+// The step kinds. Succ/Lower/Upper occur in GB(r); the Aux kinds only in
+// extended graphs.
+const (
+	// StepSucc is a timeline-successor edge (weight 1): consecutive nodes
+	// of one process are at least one time unit apart.
+	StepSucc StepKind = iota + 1
+	// StepLower follows a message (or FFIP chain hop) from its send node to
+	// its delivery node; weight L of the channel.
+	StepLower
+	// StepUpper walks backwards from a delivery node to its sender; weight
+	// -U of the channel.
+	StepUpper
+	// StepAuxEnter goes from a boundary node of the past to its process's
+	// auxiliary horizon vertex (E' of Definition 16); weight 1.
+	StepAuxEnter
+	// StepAuxHop moves between auxiliary vertices psi_i -> psi_j along
+	// channel (j, i) (E''' of Definition 16); weight -U_ji. It encodes the
+	// beyond-horizon FFIP hop j -> i walked in reverse.
+	StepAuxHop
+	// StepAuxExit goes from an auxiliary vertex psi_i to a past node sigma_j
+	// that sent a message to i which was not received inside the past
+	// (E'' of Definition 16); weight -U_ji.
+	StepAuxExit
+	// StepAuxChain goes from psi_j to a beyond-horizon chain vertex on
+	// process j (weight 0): every beyond-horizon delivery at j occurs no
+	// earlier than psi_j.
+	StepAuxChain
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case StepSucc:
+		return "succ"
+	case StepLower:
+		return "lower"
+	case StepUpper:
+		return "upper"
+	case StepAuxEnter:
+		return "aux-enter"
+	case StepAuxHop:
+		return "aux-hop"
+	case StepAuxExit:
+		return "aux-exit"
+	case StepAuxChain:
+		return "aux-chain"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Point is a vertex of a constraint path: either a general node of the run
+// (a basic node of the past appears as its singleton general node; chain
+// vertices beyond the horizon appear with their defining chain) or an
+// auxiliary horizon vertex psi_p.
+type Point struct {
+	Aux  bool
+	Proc model.ProcID    // the process, for auxiliary points
+	Node run.GeneralNode // the node, for non-auxiliary points
+}
+
+// AuxPoint returns the auxiliary point psi_p.
+func AuxPoint(p model.ProcID) Point { return Point{Aux: true, Proc: p} }
+
+// NodePoint returns the point for a general node.
+func NodePoint(g run.GeneralNode) Point { return Point{Node: g} }
+
+// ProcOf returns the process the point lives on.
+func (pt Point) ProcOf() model.ProcID {
+	if pt.Aux {
+		return pt.Proc
+	}
+	return pt.Node.Proc()
+}
+
+// String implements fmt.Stringer.
+func (pt Point) String() string {
+	if pt.Aux {
+		return fmt.Sprintf("psi_%d", pt.Proc)
+	}
+	return pt.Node.String()
+}
+
+// Step is one edge of a constraint path, carrying enough semantics for the
+// zigzag translation of internal/pattern.
+type Step struct {
+	Kind   StepKind
+	From   Point
+	To     Point
+	Weight int
+}
+
+// String implements fmt.Stringer.
+func (s Step) String() string {
+	return fmt.Sprintf("%s --%s(%+d)--> %s", s.From, s.Kind, s.Weight, s.To)
+}
+
+// PathWeight sums the weights of a step sequence.
+func PathWeight(steps []Step) int {
+	total := 0
+	for _, s := range steps {
+		total += s.Weight
+	}
+	return total
+}

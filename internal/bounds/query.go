@@ -1,0 +1,146 @@
+package bounds
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Knowledge query errors.
+var (
+	ErrNotRecognized = errors.New("bounds: general node not sigma-recognized")
+	ErrInitialChain  = errors.New("bounds: message chain cannot leave an initial node")
+	ErrNoKnowledge   = errors.New("bounds: no bound is known (no constraint path)")
+)
+
+// VertexOfGeneral returns the query-graph vertex representing the general
+// node theta = <sigma', p'>. theta must be sigma-recognized (sigma' in
+// past(r, sigma)). The chain is resolved against the run while it stays
+// inside the past; the suffix beyond the horizon is materialized as fresh
+// chain vertices carrying the constraint edges
+//
+//	prev --L--> eta,  eta --(-U)--> prev,  psi_proc(eta) --0--> eta,
+//
+// deduplicated across queries so that nodes sharing chain prefixes share
+// vertices (Definition 20's type-4 constraint paths need this).
+func (e *Extended) VertexOfGeneral(theta run.GeneralNode) (int, error) {
+	if err := theta.Valid(e.view.Net()); err != nil {
+		return 0, err
+	}
+	if !e.past.Recognized(theta) {
+		return 0, fmt.Errorf("%w: %s", ErrNotRecognized, theta)
+	}
+	prefix, hops := e.view.ResolvePrefix(theta)
+	cur := prefix[len(prefix)-1]
+	if hops == theta.Path.Hops() {
+		return e.VertexOfPast(cur)
+	}
+	if cur.IsInitial() {
+		// The chain stalled because an initial node never sends; such a
+		// general node denotes nothing in any run containing sigma.
+		return 0, fmt.Errorf("%w: %s stalls at %s", ErrInitialChain, theta, cur)
+	}
+	curVertex, err := e.VertexOfPast(cur)
+	if err != nil {
+		return 0, err
+	}
+	curPoint := NodePoint(run.At(cur))
+	net := e.view.Net()
+	for k := hops + 1; k <= theta.Path.Hops(); k++ {
+		pref := run.Via(theta.Base, theta.Path[:k+1].Clone())
+		key := pref.String()
+		next, ok := e.chainVertices[key]
+		nextPoint := NodePoint(pref)
+		if !ok {
+			next = e.g.AddVertex()
+			e.chainVertices[key] = next
+			e.chainNodes[next] = pref
+			e.extraVerts++
+			from, to := theta.Path[k-1], theta.Path[k]
+			bd, berr := net.ChanBounds(from, to)
+			if berr != nil {
+				return 0, berr
+			}
+			e.g.AddEdge(curVertex, next, bd.Lower)
+			e.meta[edgeKey{curVertex, next, bd.Lower}] = Step{
+				Kind: StepLower, From: curPoint, To: nextPoint, Weight: bd.Lower,
+			}
+			e.g.AddEdge(next, curVertex, -bd.Upper)
+			e.meta[edgeKey{next, curVertex, -bd.Upper}] = Step{
+				Kind: StepUpper, From: nextPoint, To: curPoint, Weight: -bd.Upper,
+			}
+			aux := e.AuxVertex(to)
+			e.g.AddEdge(aux, next, 0)
+			e.meta[edgeKey{aux, next, 0}] = Step{
+				Kind: StepAuxChain, From: AuxPoint(to), To: nextPoint, Weight: 0,
+			}
+		}
+		curVertex, curPoint = next, nextPoint
+	}
+	return curVertex, nil
+}
+
+// stepsOf reconstructs Step metadata for a vertex path of the query graph.
+func (e *Extended) stepsOf(path []int, dist []int64) ([]Step, error) {
+	steps := make([]Step, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		w := int(dist[v] - dist[u])
+		st, ok := e.meta[edgeKey{u, v, w}]
+		if !ok {
+			return nil, fmt.Errorf("bounds: missing edge metadata %d->%d (w=%d)", u, v, w)
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+// KnowledgeWeight computes kw = max{ x : K_sigma(theta1 --x--> theta2) },
+// the strongest timed precedence between theta1 and theta2 known at sigma
+// (Theorem 4), as the longest constraint path from theta1 to theta2 in the
+// query graph. It returns the realizing constraint path for witness
+// extraction. known is false — with err == nil — when no bound is known at
+// any x (no constraint path exists; the fast-run construction of Definition
+// 24 can then delay theta1 arbitrarily past theta2).
+func (e *Extended) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, steps []Step, known bool, err error) {
+	u, err := e.VertexOfGeneral(theta1)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	v, err := e.VertexOfGeneral(theta2)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	dist, err := e.g.Longest(u)
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
+	}
+	if dist[v] == graph.NegInf {
+		return 0, nil, false, nil
+	}
+	weight, path, ok, err := e.g.LongestPath(u, v)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if !ok {
+		return 0, nil, false, nil
+	}
+	steps, err = e.stepsOf(path, dist)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return int(weight), steps, true, nil
+}
+
+// Knows reports whether K_sigma(theta1 --x--> theta2) holds: whether sigma,
+// in its current local state, knows that theta1 occurs at least x time units
+// before theta2 in every indistinguishable run.
+func (e *Extended) Knows(theta1 run.GeneralNode, x int, theta2 run.GeneralNode) (bool, error) {
+	kw, _, known, err := e.KnowledgeWeight(theta1, theta2)
+	if err != nil {
+		return false, err
+	}
+	return known && kw >= x, nil
+}

@@ -1,0 +1,229 @@
+// Package graph provides the weighted-digraph machinery behind the bounds
+// graphs of the paper: longest-path computation with positive-cycle
+// detection. In a bounds graph an edge u --w--> v encodes the constraint
+// time(v) >= time(u) + w, so the longest path from u to v is the tightest
+// provable lower bound on time(v) - time(u); a positive cycle would assert
+// that a node occurs strictly after itself, which is absurd, so its
+// detection signals an inconsistent (illegal) run.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NegInf is the "no path" distance sentinel. It is far enough from the
+// representable range that adding edge weights to it cannot wrap.
+const NegInf = int64(-1) << 60
+
+// ErrPositiveCycle reports that the graph contains a cycle of positive
+// weight reachable in the queried direction, i.e. the constraint system is
+// unsatisfiable.
+var ErrPositiveCycle = errors.New("graph: positive-weight cycle")
+
+// Edge is a directed weighted edge.
+type Edge struct {
+	To     int
+	Weight int
+}
+
+// Graph is a mutable directed graph over vertices 0..n-1 with integer edge
+// weights. It is not safe for concurrent mutation.
+type Graph struct {
+	adj  [][]Edge
+	radj [][]Edge
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Edge, n), radj: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total
+}
+
+// AddVertex appends a fresh isolated vertex and returns its id.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	g.radj = append(g.radj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the edge u --w--> v. Parallel edges are allowed (only the
+// heaviest matters for longest paths). It panics on out-of-range vertices —
+// vertex allocation is the caller's structural invariant.
+func (g *Graph) AddEdge(u, v, w int) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) outside 0..%d", u, v, len(g.adj)-1))
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+	g.radj[v] = append(g.radj[v], Edge{To: u, Weight: w})
+}
+
+// Out returns the out-edges of u. Callers must not mutate the result.
+func (g *Graph) Out(u int) []Edge { return g.adj[u] }
+
+// In returns the in-edges of u, pointing back at the edge sources with the
+// same weights. Callers must not mutate the result.
+func (g *Graph) In(u int) []Edge { return g.radj[u] }
+
+// Longest computes single-source longest-path distances from src using a
+// queue-based Bellman–Ford (SPFA). dist[v] == NegInf means v is unreachable.
+// It returns ErrPositiveCycle if a positive cycle is reachable from src.
+func (g *Graph) Longest(src int) ([]int64, error) {
+	return longest(src, g.adj)
+}
+
+// LongestInto computes, for every vertex v, the weight of the longest path
+// from v to dst, by running SPFA on the reversed graph. dist[v] == NegInf
+// means dst is unreachable from v.
+func (g *Graph) LongestInto(dst int) ([]int64, error) {
+	return longest(dst, g.radj)
+}
+
+func longest(src int, adj [][]Edge) ([]int64, error) {
+	n := len(adj)
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("graph: source %d outside 0..%d", src, n-1)
+	}
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = NegInf
+	}
+	dist[src] = 0
+
+	inQueue := make([]bool, n)
+	relaxed := make([]int, n)
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	inQueue[src] = true
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		du := dist[u]
+		for _, e := range adj[u] {
+			if nd := du + int64(e.Weight); nd > dist[e.To] {
+				dist[e.To] = nd
+				relaxed[e.To]++
+				if relaxed[e.To] > n {
+					return nil, ErrPositiveCycle
+				}
+				if !inQueue[e.To] {
+					queue = append(queue, e.To)
+					inQueue[e.To] = true
+				}
+			}
+		}
+	}
+	return dist, nil
+}
+
+// LongestPath returns the weight of a longest path from src to dst and a
+// vertex sequence realizing it. ok is false if dst is unreachable.
+//
+// Reconstruction walks backwards from dst over tight edges (edges with
+// dist[u] + w == dist[v]) using a depth-first search with a visited set.
+// Any simple tight path from src to dst telescopes to dist[dst], and the
+// visited set makes the walk immune to zero-weight cycles, which bounds
+// graphs contain whenever a channel has L == U.
+func (g *Graph) LongestPath(src, dst int) (weight int64, path []int, ok bool, err error) {
+	dist, err := g.Longest(src)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if dst < 0 || dst >= len(dist) || dist[dst] == NegInf {
+		return 0, nil, false, nil
+	}
+	// Iterative DFS from dst backwards over tight edges.
+	visited := make([]bool, len(dist))
+	from := make([]int, len(dist)) // tight-walk successor towards dst
+	for i := range from {
+		from[i] = -1
+	}
+	stack := []int{dst}
+	visited[dst] = true
+	found := dst == src
+	for len(stack) > 0 && !found {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.radj[v] {
+			u := e.To
+			if visited[u] || dist[u] == NegInf {
+				continue
+			}
+			if dist[u]+int64(e.Weight) != dist[v] {
+				continue // not tight: not on any maximal path through v
+			}
+			visited[u] = true
+			from[u] = v
+			if u == src {
+				found = true
+				break
+			}
+			stack = append(stack, u)
+		}
+	}
+	if !found {
+		// dst is reachable, so a fully tight optimal path exists; not
+		// finding one indicates internal inconsistency.
+		return 0, nil, false, fmt.Errorf("graph: no tight path %d->%d despite dist %d", src, dst, dist[dst])
+	}
+	path = append(path, src)
+	for at := src; at != dst; {
+		at = from[at]
+		path = append(path, at)
+	}
+	return dist[dst], path, true, nil
+}
+
+// Reachable reports whether dst is reachable from src.
+func (g *Graph) Reachable(src, dst int) bool {
+	seen := make([]bool, len(g.adj))
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == dst {
+			return true
+		}
+		for _, e := range g.adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
+
+// ReachSet returns the set of vertices from which dst is reachable
+// (including dst itself): the sigma-precedence set V_sigma of Definition 12
+// when applied to a bounds graph.
+func (g *Graph) ReachSet(dst int) []bool {
+	seen := make([]bool, len(g.adj))
+	seen[dst] = true
+	stack := []int{dst}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.radj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}

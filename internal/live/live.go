@@ -1,0 +1,222 @@
+// Package live executes the bounded communication model with one goroutine
+// per process, exchanging FFIP messages over Go channels under a lockstep
+// virtual-time environment. It exists to demonstrate — and test — that
+// every decision in this library is honestly clockless: an agent goroutine
+// receives only run.View values (the structure of its causal past) and has
+// no access whatsoever to the environment's clock; its decisions must
+// therefore coincide exactly with the offline analysis, which the tests
+// assert.
+//
+// The environment goroutine owns virtual time: at each tick it delivers the
+// messages the Policy scheduled, waits for every receiving process to
+// absorb its batch and answer with its actions, and floods the new states
+// onward. Processes never see the tick value.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// Agent is the application logic of one process. OnState is called from the
+// process's own goroutine at every new local state, with the process's
+// current view (structure only — no times) and the external labels absorbed
+// in the creating batch. The returned labels are recorded as actions
+// performed at that state.
+type Agent interface {
+	OnState(v *run.View, externals []string) (actions []string)
+}
+
+// AgentFunc adapts a function to an Agent.
+type AgentFunc func(v *run.View, externals []string) []string
+
+// OnState implements Agent.
+func (f AgentFunc) OnState(v *run.View, externals []string) []string { return f(v, externals) }
+
+// Action records one action an agent performed.
+type Action struct {
+	Proc  model.ProcID
+	Node  run.BasicNode
+	Time  model.Time
+	Label string
+}
+
+// Config parametrizes a live execution.
+type Config struct {
+	Net       *model.Network
+	Horizon   model.Time
+	Policy    sim.Policy
+	Externals []run.ExternalEvent
+	// Agents maps processes to their application logic; processes without
+	// an agent still flood (they are pure FFIP relays).
+	Agents map[model.ProcID]Agent
+}
+
+// Result is the outcome of a live execution.
+type Result struct {
+	// Run is the environment-side ground-truth recording; it validates as a
+	// legal run and is byte-identical in structure to what sim.Simulate
+	// produces for the same configuration.
+	Run *run.Run
+	// Actions lists agent actions in (time, process) order.
+	Actions []Action
+}
+
+// batch is what the environment hands a process goroutine at one tick.
+type batch struct {
+	receipts  []run.Receipt
+	externals []string
+	reply     chan<- procReply
+}
+
+// procReply is what the process goroutine answers with.
+type procReply struct {
+	node    run.BasicNode
+	payload *run.View // frozen history, flooded to all out-neighbours
+	actions []string
+	err     error
+}
+
+// Run executes the configuration. It is deterministic for deterministic
+// policies: goroutine scheduling cannot influence outcomes because the
+// environment synchronizes on every delivery batch.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Net == nil || cfg.Horizon < 1 {
+		return nil, errors.New("live: bad configuration")
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = sim.Eager{}
+	}
+	net := cfg.Net
+
+	// Spawn one goroutine per process, each owning its View and Agent.
+	inboxes := make([]chan batch, net.N())
+	var wg sync.WaitGroup
+	for _, p := range net.Procs() {
+		ch := make(chan batch) // unbuffered: lockstep with the environment
+		inboxes[p-1] = ch
+		wg.Add(1)
+		go func(p model.ProcID, ch <-chan batch) {
+			defer wg.Done()
+			view := run.NewLocalView(net, p)
+			agent := cfg.Agents[p]
+			for b := range ch {
+				node, err := view.Absorb(b.receipts, b.externals)
+				if err != nil {
+					b.reply <- procReply{err: err}
+					continue
+				}
+				var actions []string
+				if agent != nil {
+					actions = agent.OnState(view, b.externals)
+				}
+				b.reply <- procReply{
+					node:    node,
+					payload: view.Clone(),
+					actions: actions,
+				}
+			}
+		}(p, ch)
+	}
+	defer func() {
+		for _, ch := range inboxes {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+
+	// Environment state: scheduled arrivals and the external timetable.
+	type arrival struct {
+		from    run.BasicNode
+		payload *run.View
+		toProc  model.ProcID
+		send    model.Time
+	}
+	arrivals := make(map[model.Time][]arrival)
+	extAt := make(map[model.Time]map[model.ProcID][]string)
+	for _, e := range cfg.Externals {
+		if !net.ValidProc(e.Proc) || e.Time < 1 || e.Time > cfg.Horizon {
+			return nil, fmt.Errorf("live: bad external %q to %d at %d", e.Label, e.Proc, e.Time)
+		}
+		if extAt[e.Time] == nil {
+			extAt[e.Time] = make(map[model.ProcID][]string)
+		}
+		extAt[e.Time][e.Proc] = append(extAt[e.Time][e.Proc], e.Label)
+	}
+
+	bl := run.NewBuilder(net, cfg.Horizon)
+	res := &Result{}
+
+	for t := model.Time(1); t <= cfg.Horizon; t++ {
+		// Group this tick's deliveries per process.
+		byProc := make(map[model.ProcID][]arrival)
+		for _, a := range arrivals[t] {
+			byProc[a.toProc] = append(byProc[a.toProc], a)
+		}
+		delete(arrivals, t)
+		for p := range extAt[t] {
+			if _, ok := byProc[p]; !ok {
+				byProc[p] = nil
+			}
+		}
+		// Deterministic process order.
+		procs := make([]model.ProcID, 0, len(byProc))
+		for p := range byProc {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+
+		for _, p := range procs {
+			var receipts []run.Receipt
+			for _, a := range byProc[p] {
+				receipts = append(receipts, run.Receipt{From: a.from, Payload: a.payload})
+				bl.Message(run.MessageEvent{
+					FromProc: a.from.Proc, ToProc: p, SendTime: a.send, RecvTime: t,
+				})
+			}
+			for _, l := range extAt[t][p] {
+				bl.External(run.ExternalEvent{Proc: p, Time: t, Label: l})
+			}
+			reply := make(chan procReply, 1)
+			inboxes[p-1] <- batch{receipts: receipts, externals: extAt[t][p], reply: reply}
+			pr := <-reply
+			if pr.err != nil {
+				return nil, fmt.Errorf("live: process %d: %w", p, pr.err)
+			}
+			for _, label := range pr.actions {
+				res.Actions = append(res.Actions, Action{Proc: p, Node: pr.node, Time: t, Label: label})
+			}
+			// FFIP flood: schedule the new state's messages.
+			for _, q := range net.Out(p) {
+				bd, _ := net.ChanBounds(p, q)
+				s := sim.Send{From: p, To: q, SendTime: t}
+				lat := policy.Latency(s, bd)
+				if lat < bd.Lower || lat > bd.Upper {
+					return nil, fmt.Errorf("live: policy %q chose latency %d outside %s", policy.Name(), lat, bd)
+				}
+				if t+lat > cfg.Horizon {
+					continue
+				}
+				arrivals[t+lat] = append(arrivals[t+lat], arrival{
+					from:    pr.node,
+					payload: pr.payload,
+					toProc:  q,
+					send:    t,
+				})
+			}
+		}
+	}
+	r, err := bl.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Run = r
+	return res, nil
+}

@@ -1,0 +1,185 @@
+package live
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/scenario"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// TestLiveMatchesSimulator: the live engine's ground-truth recording is
+// structurally identical to the lockstep simulator's for the same
+// configuration and policy.
+func TestLiveMatchesSimulator(t *testing.T) {
+	sc := scenario.Figure2b(scenario.DefaultFigure2())
+	// Policies are stateful (Random consumes its generator), so each engine
+	// gets a fresh instance from a factory.
+	factories := []func() sim.Policy{
+		func() sim.Policy { return sim.Eager{} },
+		func() sim.Policy { return sim.Lazy{} },
+		func() sim.Policy { return sim.NewRandom(8) },
+	}
+	for _, mk := range factories {
+		pol := mk()
+		res, err := Run(Config{
+			Net: sc.Net, Horizon: sc.Horizon, Policy: pol, Externals: sc.Externals,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if err := res.Run.Validate(); err != nil {
+			t.Fatalf("%s: live run invalid: %v", pol.Name(), err)
+		}
+		want, err := sc.Simulate(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, d2 := res.Run.Deliveries(), want.Deliveries()
+		if len(d1) != len(d2) {
+			t.Fatalf("%s: deliveries %d vs %d", pol.Name(), len(d1), len(d2))
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("%s: delivery %d: %v vs %v", pol.Name(), i, d1[i], d2[i])
+			}
+		}
+	}
+}
+
+// TestOnlineProtocol2MatchesOffline is the library's honesty theorem: the
+// online agent — deciding inside its goroutine from its view alone, with no
+// clock — acts at exactly the node and time the offline analysis of the
+// recorded run says the optimal protocol acts.
+func TestOnlineProtocol2MatchesOffline(t *testing.T) {
+	scenarios := []*scenario.Scenario{
+		scenario.Figure1(scenario.DefaultFigure1()),
+		scenario.Figure2b(scenario.DefaultFigure2()),
+		scenario.Figure4(scenario.DefaultFigure4()),
+		scenario.Trains(3),
+		scenario.Takeoff(4),
+		scenario.Circuits(6),
+	}
+	for _, sc := range scenarios {
+		for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(4)} {
+			agent := &Protocol2{Task: *sc.Task}
+			res, err := Run(Config{
+				Net: sc.Net, Horizon: sc.Horizon, Policy: pol, Externals: sc.Externals,
+				Agents: map[model.ProcID]Agent{sc.Task.B: agent},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sc.Name, pol.Name(), err)
+			}
+			if err := agent.Err(); err != nil {
+				t.Fatalf("%s/%s: agent: %v", sc.Name, pol.Name(), err)
+			}
+			offline, err := sc.Task.RunOptimal(res.Run)
+			if err != nil {
+				t.Fatalf("%s/%s: offline: %v", sc.Name, pol.Name(), err)
+			}
+			var online *Action
+			for i := range res.Actions {
+				if res.Actions[i].Label == "b" {
+					online = &res.Actions[i]
+					break
+				}
+			}
+			if offline.Acted != (online != nil) {
+				t.Fatalf("%s/%s: offline acted=%v, online acted=%v",
+					sc.Name, pol.Name(), offline.Acted, online != nil)
+			}
+			if online == nil {
+				continue
+			}
+			if online.Node != offline.ActNode || online.Time != offline.ActTime {
+				t.Errorf("%s/%s: online %s@%d vs offline %s@%d",
+					sc.Name, pol.Name(), online.Node, online.Time, offline.ActNode, offline.ActTime)
+			}
+		}
+	}
+}
+
+// TestOnlineNeverActsWhenInfeasible: the online agent stays silent when the
+// bound is not knowable.
+func TestOnlineNeverActsWhenInfeasible(t *testing.T) {
+	p := scenario.DefaultFigure1()
+	p.X = p.LCB - p.UCA + 1
+	sc := scenario.Figure1(p)
+	agent := &Protocol2{Task: *sc.Task}
+	res, err := Run(Config{
+		Net: sc.Net, Horizon: sc.Horizon, Policy: sim.Lazy{}, Externals: sc.Externals,
+		Agents: map[model.ProcID]Agent{sc.Task.B: agent},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Actions {
+		if a.Label == "b" {
+			t.Fatalf("online agent acted at %s for an infeasible bound", a.Node)
+		}
+	}
+}
+
+// TestLiveViewsAreStructureOnly: views accumulated online agree exactly
+// with views extracted from the recorded run at the same nodes.
+func TestLiveViewsAreStructureOnly(t *testing.T) {
+	sc := scenario.Figure2b(scenario.DefaultFigure2())
+	type seen struct {
+		node run.BasicNode
+		size int
+	}
+	var got []seen
+	probe := AgentFunc(func(v *run.View, _ []string) []string {
+		got = append(got, seen{node: v.Origin(), size: v.Size()})
+		return nil
+	})
+	res, err := Run(Config{
+		Net: sc.Net, Horizon: sc.Horizon, Policy: sim.Eager{}, Externals: sc.Externals,
+		Agents: map[model.ProcID]Agent{sc.Proc("B"): probe},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("probe never ran")
+	}
+	for _, s := range got {
+		want, err := run.ViewOf(res.Run, s.node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.size != want.Size() {
+			t.Errorf("node %s: online view size %d, offline %d", s.node, s.size, want.Size())
+		}
+	}
+}
+
+// TestLiveCustomAgentActions: multiple agents, multiple actions, recorded
+// in deterministic order.
+func TestLiveCustomAgentActions(t *testing.T) {
+	net := model.MustComplete(3, 1, 2)
+	echo := AgentFunc(func(v *run.View, ext []string) []string {
+		if len(ext) > 0 {
+			return []string{"heard:" + ext[0]}
+		}
+		return nil
+	})
+	res, err := Run(Config{
+		Net: net, Horizon: 20, Policy: sim.Eager{},
+		Externals: []run.ExternalEvent{{Proc: 1, Time: 1, Label: "ping"}},
+		Agents:    map[model.ProcID]Agent{1: echo, 2: echo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Actions {
+		if a.Proc == 1 && a.Label == "heard:ping" && a.Time == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("external-triggered action missing: %v", res.Actions)
+	}
+}

@@ -1,0 +1,67 @@
+package live
+
+import (
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Protocol2 is the knowledge-optimal coordination agent for B, running
+// online inside B's process goroutine. At every new local state it looks
+// for C's go node in its view, builds the extended bounds graph from the
+// view (structure only — the agent cannot read any clock), and performs b
+// the first time the required precedence is known. It is the live
+// counterpart of (coord.Task).RunOptimal, and the two must agree exactly.
+type Protocol2 struct {
+	Task coord.Task
+	// ActLabel is the action recorded when b is performed ("b" if empty).
+	ActLabel string
+
+	acted bool
+	err   error
+}
+
+// Err reports the first internal error the agent encountered (knowledge
+// queries are total on well-formed views, so this is nil in practice).
+func (p *Protocol2) Err() error { return p.err }
+
+// OnState implements Agent.
+func (p *Protocol2) OnState(v *run.View, _ []string) []string {
+	if p.acted || p.err != nil {
+		return nil
+	}
+	label := p.Task.GoLabel
+	if label == "" {
+		label = "go"
+	}
+	sigmaC, ok := v.FindExternal(p.Task.C, label)
+	if !ok {
+		return nil // C's send is not yet in B's past
+	}
+	aNode := run.At(sigmaC).Hop(p.Task.A)
+	ext, err := bounds.NewExtendedFromView(v)
+	if err != nil {
+		p.err = err
+		return nil
+	}
+	sigma := run.At(v.Origin())
+	var theta1, theta2 run.GeneralNode
+	if p.Task.Kind == coord.Late {
+		theta1, theta2 = aNode, sigma
+	} else {
+		theta1, theta2 = sigma, aNode
+	}
+	knows, err := ext.Knows(theta1, p.Task.X, theta2)
+	if err != nil {
+		p.err = err
+		return nil
+	}
+	if !knows {
+		return nil
+	}
+	p.acted = true
+	if p.ActLabel == "" {
+		return []string{"b"}
+	}
+	return []string{p.ActLabel}
+}

@@ -1,0 +1,85 @@
+package model
+
+// Convenience constructors for common topologies. All of them produce
+// bidirectional channels with uniform bounds [lower, upper] unless noted
+// otherwise; they are used by tests, examples and the workload generator.
+
+// Line returns a path network 1 - 2 - ... - n with bidirectional channels.
+func Line(n, lower, upper int) (*Network, error) {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.BiChan(ProcID(i), ProcID(i+1), lower, upper)
+	}
+	return b.Build()
+}
+
+// Ring returns a cycle network 1 - 2 - ... - n - 1 with bidirectional
+// channels. For n == 2 it degenerates to a single bidirectional link, and
+// for n == 1 it has no channels.
+func Ring(n, lower, upper int) (*Network, error) {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.BiChan(ProcID(i), ProcID(i+1), lower, upper)
+	}
+	if n > 2 {
+		b.BiChan(ProcID(n), 1, lower, upper)
+	}
+	return b.Build()
+}
+
+// Star returns a star network with process 1 at the centre, connected
+// bidirectionally to 2..n.
+func Star(n, lower, upper int) (*Network, error) {
+	b := NewBuilder(n)
+	for i := 2; i <= n; i++ {
+		b.BiChan(1, ProcID(i), lower, upper)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete bidirectional network on n processes.
+func Complete(n, lower, upper int) (*Network, error) {
+	b := NewBuilder(n)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			b.BiChan(ProcID(i), ProcID(j), lower, upper)
+		}
+	}
+	return b.Build()
+}
+
+// MustLine is Line that panics on error.
+func MustLine(n, lower, upper int) *Network {
+	net, err := Line(n, lower, upper)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// MustRing is Ring that panics on error.
+func MustRing(n, lower, upper int) *Network {
+	net, err := Ring(n, lower, upper)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// MustStar is Star that panics on error.
+func MustStar(n, lower, upper int) *Network {
+	net, err := Star(n, lower, upper)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// MustComplete is Complete that panics on error.
+func MustComplete(n, lower, upper int) *Network {
+	net, err := Complete(n, lower, upper)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}

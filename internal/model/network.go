@@ -1,0 +1,259 @@
+// Package model defines the static substrate of the bounded communication
+// model (bcm) of Dan, Manohar and Moses (PODC 2017): a directed communication
+// network whose channels carry integer lower and upper bounds on message
+// transmission time. Time is identified with the natural numbers; a single
+// time step is the minimal relevant unit of time.
+//
+// The package is purely structural: it knows nothing about runs, protocols
+// or schedulers. Those live in internal/run and internal/sim.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcID identifies a process. Processes are numbered 1..n as in the paper
+// (Procs = {1, ..., n}); 0 is never a valid process.
+type ProcID int
+
+// Time is a point on the global (external) timeline. Processes in the bcm
+// model have no access to it; it exists only for the environment, the
+// analyst and the proofs.
+type Time = int
+
+// Infinity is a sentinel "no bound / unreachable" time value. It is chosen
+// so that Infinity+Infinity does not overflow int64 arithmetic.
+const Infinity = int(1) << 40
+
+// Channel is a directed communication channel (i, j) in Chans.
+type Channel struct {
+	From ProcID
+	To   ProcID
+}
+
+// String renders the channel as "i->j".
+func (c Channel) String() string { return fmt.Sprintf("%d->%d", c.From, c.To) }
+
+// Bounds is the pair (L, U) of transmission-time bounds for one channel,
+// satisfying 1 <= L <= U < Infinity.
+type Bounds struct {
+	Lower int
+	Upper int
+}
+
+// Valid reports whether the bounds satisfy the bcm requirement
+// 1 <= L <= U < Infinity.
+func (b Bounds) Valid() bool {
+	return 1 <= b.Lower && b.Lower <= b.Upper && b.Upper < Infinity
+}
+
+// String renders the bounds as "[L,U]".
+func (b Bounds) String() string { return fmt.Sprintf("[%d,%d]", b.Lower, b.Upper) }
+
+// Network is a time-bounded communication network Net = (Procs, Chans)
+// together with the bound functions L, U : Chans -> N. It is immutable once
+// built via a Builder (or the convenience constructors); all accessors are
+// safe for concurrent use.
+type Network struct {
+	n        int
+	chans    map[Channel]Bounds
+	outAdj   map[ProcID][]ProcID // sorted
+	inAdj    map[ProcID][]ProcID // sorted
+	channels []Channel           // sorted, for deterministic iteration
+	maxUpper int
+	minLower int
+}
+
+// Errors returned by network construction and path queries.
+var (
+	ErrNoChannel   = errors.New("model: no such channel")
+	ErrBadBounds   = errors.New("model: bounds must satisfy 1 <= L <= U")
+	ErrBadProc     = errors.New("model: process ids must lie in 1..n")
+	ErrSelfLoop    = errors.New("model: self-loop channels are not allowed")
+	ErrDupChannel  = errors.New("model: duplicate channel")
+	ErrEmptyPath   = errors.New("model: path must contain at least one process")
+	ErrBrokenPath  = errors.New("model: path uses a non-existent channel")
+	ErrNoProcesses = errors.New("model: network needs at least one process")
+)
+
+// Builder accumulates processes and channels and produces an immutable
+// Network. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	n     int
+	chans map[Channel]Bounds
+	err   error
+}
+
+// NewBuilder returns a Builder for a network over processes 1..n.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, chans: make(map[Channel]Bounds)}
+}
+
+// Chan adds the directed channel from -> to with bounds [lower, upper].
+// Errors are latched and reported by Build.
+func (b *Builder) Chan(from, to ProcID, lower, upper int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	switch {
+	case from < 1 || int(from) > b.n || to < 1 || int(to) > b.n:
+		b.err = fmt.Errorf("%w: channel %d->%d in network of size %d", ErrBadProc, from, to, b.n)
+	case from == to:
+		b.err = fmt.Errorf("%w: %d->%d", ErrSelfLoop, from, to)
+	default:
+		ch := Channel{From: from, To: to}
+		if _, dup := b.chans[ch]; dup {
+			b.err = fmt.Errorf("%w: %s", ErrDupChannel, ch)
+			return b
+		}
+		bd := Bounds{Lower: lower, Upper: upper}
+		if !bd.Valid() {
+			b.err = fmt.Errorf("%w: channel %s has %s", ErrBadBounds, ch, bd)
+			return b
+		}
+		b.chans[ch] = bd
+	}
+	return b
+}
+
+// BiChan adds both directions with the same bounds.
+func (b *Builder) BiChan(p, q ProcID, lower, upper int) *Builder {
+	return b.Chan(p, q, lower, upper).Chan(q, p, lower, upper)
+}
+
+// Build finalizes the network.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.n < 1 {
+		return nil, ErrNoProcesses
+	}
+	net := &Network{
+		n:        b.n,
+		chans:    make(map[Channel]Bounds, len(b.chans)),
+		outAdj:   make(map[ProcID][]ProcID),
+		inAdj:    make(map[ProcID][]ProcID),
+		minLower: Infinity,
+	}
+	for ch, bd := range b.chans {
+		net.chans[ch] = bd
+		net.outAdj[ch.From] = append(net.outAdj[ch.From], ch.To)
+		net.inAdj[ch.To] = append(net.inAdj[ch.To], ch.From)
+		net.channels = append(net.channels, ch)
+		if bd.Upper > net.maxUpper {
+			net.maxUpper = bd.Upper
+		}
+		if bd.Lower < net.minLower {
+			net.minLower = bd.Lower
+		}
+	}
+	for _, adj := range net.outAdj {
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	for _, adj := range net.inAdj {
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	sort.Slice(net.channels, func(i, j int) bool {
+		if net.channels[i].From != net.channels[j].From {
+			return net.channels[i].From < net.channels[j].From
+		}
+		return net.channels[i].To < net.channels[j].To
+	})
+	return net, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and fixtures.
+func (b *Builder) MustBuild() *Network {
+	net, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// N returns the number of processes.
+func (net *Network) N() int { return net.n }
+
+// Procs returns the process ids 1..n in order.
+func (net *Network) Procs() []ProcID {
+	ps := make([]ProcID, net.n)
+	for i := range ps {
+		ps[i] = ProcID(i + 1)
+	}
+	return ps
+}
+
+// ValidProc reports whether p is a process of this network.
+func (net *Network) ValidProc(p ProcID) bool { return p >= 1 && int(p) <= net.n }
+
+// HasChan reports whether the directed channel from -> to exists.
+func (net *Network) HasChan(from, to ProcID) bool {
+	_, ok := net.chans[Channel{From: from, To: to}]
+	return ok
+}
+
+// ChanBounds returns the bounds of channel from -> to.
+func (net *Network) ChanBounds(from, to ProcID) (Bounds, error) {
+	bd, ok := net.chans[Channel{From: from, To: to}]
+	if !ok {
+		return Bounds{}, fmt.Errorf("%w: %d->%d", ErrNoChannel, from, to)
+	}
+	return bd, nil
+}
+
+// Lower returns L_{from,to}; it panics if the channel does not exist
+// (channel existence is a structural invariant the caller must hold).
+func (net *Network) Lower(from, to ProcID) int {
+	bd, err := net.ChanBounds(from, to)
+	if err != nil {
+		panic(err)
+	}
+	return bd.Lower
+}
+
+// Upper returns U_{from,to}; it panics if the channel does not exist.
+func (net *Network) Upper(from, to ProcID) int {
+	bd, err := net.ChanBounds(from, to)
+	if err != nil {
+		panic(err)
+	}
+	return bd.Upper
+}
+
+// Out returns the out-neighbours of p in ascending order. The returned slice
+// is shared; callers must not mutate it.
+func (net *Network) Out(p ProcID) []ProcID { return net.outAdj[p] }
+
+// In returns the in-neighbours of p in ascending order. The returned slice
+// is shared; callers must not mutate it.
+func (net *Network) In(p ProcID) []ProcID { return net.inAdj[p] }
+
+// Channels returns all channels in deterministic order. The returned slice
+// is shared; callers must not mutate it.
+func (net *Network) Channels() []Channel { return net.channels }
+
+// NumChannels returns |Chans|.
+func (net *Network) NumChannels() int { return len(net.channels) }
+
+// MaxUpper returns the largest upper bound over all channels (0 if none).
+func (net *Network) MaxUpper() int { return net.maxUpper }
+
+// MinLower returns the smallest lower bound over all channels
+// (Infinity if the network has no channels).
+func (net *Network) MinLower() int { return net.minLower }
+
+// String renders a compact description such as
+// "Net(n=3; 1->2[1,4] 1->3[2,2])".
+func (net *Network) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Net(n=%d;", net.n)
+	for _, ch := range net.channels {
+		fmt.Fprintf(&sb, " %s%s", ch, net.chans[ch])
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

@@ -1,0 +1,202 @@
+package model
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	net, err := NewBuilder(3).
+		Chan(1, 2, 2, 5).
+		Chan(2, 1, 1, 1).
+		Chan(1, 3, 3, 7).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 3 {
+		t.Errorf("N = %d, want 3", net.N())
+	}
+	if net.NumChannels() != 3 {
+		t.Errorf("channels = %d, want 3", net.NumChannels())
+	}
+	if !net.HasChan(1, 2) || net.HasChan(3, 1) {
+		t.Error("channel membership wrong")
+	}
+	if got := net.Lower(1, 2); got != 2 {
+		t.Errorf("L(1,2) = %d, want 2", got)
+	}
+	if got := net.Upper(1, 3); got != 7 {
+		t.Errorf("U(1,3) = %d, want 7", got)
+	}
+	if got := net.MaxUpper(); got != 7 {
+		t.Errorf("MaxUpper = %d, want 7", got)
+	}
+	if got := net.MinLower(); got != 1 {
+		t.Errorf("MinLower = %d, want 1", got)
+	}
+	if out := net.Out(1); len(out) != 2 || out[0] != 2 || out[1] != 3 {
+		t.Errorf("Out(1) = %v", out)
+	}
+	if in := net.In(1); len(in) != 1 || in[0] != 2 {
+		t.Errorf("In(1) = %v", in)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+		want error
+	}{
+		{"bad proc", NewBuilder(2).Chan(1, 5, 1, 2), ErrBadProc},
+		{"zero proc", NewBuilder(2).Chan(0, 1, 1, 2), ErrBadProc},
+		{"self loop", NewBuilder(2).Chan(1, 1, 1, 2), ErrSelfLoop},
+		{"dup", NewBuilder(2).Chan(1, 2, 1, 2).Chan(1, 2, 2, 3), ErrDupChannel},
+		{"zero lower", NewBuilder(2).Chan(1, 2, 0, 2), ErrBadBounds},
+		{"inverted", NewBuilder(2).Chan(1, 2, 5, 2), ErrBadBounds},
+		{"no procs", NewBuilder(0), ErrNoProcesses},
+	}
+	for _, tc := range cases {
+		if _, err := tc.b.Build(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBoundsValid(t *testing.T) {
+	cases := []struct {
+		b    Bounds
+		want bool
+	}{
+		{Bounds{1, 1}, true},
+		{Bounds{1, 10}, true},
+		{Bounds{0, 5}, false},
+		{Bounds{3, 2}, false},
+		{Bounds{1, Infinity}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.b.Valid(); got != tc.want {
+			t.Errorf("%s.Valid() = %v, want %v", tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestBiChan(t *testing.T) {
+	net := NewBuilder(2).BiChan(1, 2, 2, 4).MustBuild()
+	if !net.HasChan(1, 2) || !net.HasChan(2, 1) {
+		t.Fatal("BiChan missing a direction")
+	}
+	if net.Lower(2, 1) != 2 || net.Upper(2, 1) != 4 {
+		t.Error("reverse bounds wrong")
+	}
+}
+
+func TestTopologyBuilders(t *testing.T) {
+	line := MustLine(4, 1, 2)
+	if line.NumChannels() != 6 {
+		t.Errorf("line channels = %d, want 6", line.NumChannels())
+	}
+	ring := MustRing(4, 1, 2)
+	if ring.NumChannels() != 8 {
+		t.Errorf("ring channels = %d, want 8", ring.NumChannels())
+	}
+	star := MustStar(5, 1, 2)
+	if star.NumChannels() != 8 {
+		t.Errorf("star channels = %d, want 8", star.NumChannels())
+	}
+	complete := MustComplete(4, 1, 2)
+	if complete.NumChannels() != 12 {
+		t.Errorf("complete channels = %d, want 12", complete.NumChannels())
+	}
+	// Degenerate rings.
+	if MustRing(2, 1, 2).NumChannels() != 2 {
+		t.Error("ring(2) should be one bidirectional link")
+	}
+	if MustRing(1, 1, 2).NumChannels() != 0 {
+		t.Error("ring(1) should be empty")
+	}
+}
+
+func TestShortestHopPath(t *testing.T) {
+	net := MustLine(5, 1, 3)
+	p := net.ShortestHopPath(1, 5)
+	if !p.Equal(Path{1, 2, 3, 4, 5}) {
+		t.Errorf("path = %v", p)
+	}
+	if got := net.ShortestHopPath(3, 3); !got.Equal(Path{3}) {
+		t.Errorf("self path = %v", got)
+	}
+	oneway := NewBuilder(3).Chan(1, 2, 1, 1).Chan(2, 3, 1, 1).MustBuild()
+	if p := oneway.ShortestHopPath(3, 1); p != nil {
+		t.Errorf("unreachable pair returned %v", p)
+	}
+	if !oneway.Reachable(1, 3) || oneway.Reachable(3, 1) {
+		t.Error("reachability wrong")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := MustLine(5, 1, 2).Diameter(); d != 4 {
+		t.Errorf("line diameter = %d, want 4", d)
+	}
+	if d := MustComplete(5, 1, 2).Diameter(); d != 1 {
+		t.Errorf("complete diameter = %d, want 1", d)
+	}
+	if d := MustStar(5, 1, 2).Diameter(); d != 2 {
+		t.Errorf("star diameter = %d, want 2", d)
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	net := NewBuilder(2).Chan(1, 2, 1, 4).MustBuild()
+	want := "Net(n=2; 1->2[1,4])"
+	if got := net.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// TestShortestHopPathIsShortest: property check against BFS levels on
+// random networks.
+func TestShortestHopPathIsShortest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		nb := NewBuilder(n)
+		seen := map[Channel]bool{}
+		for i := 0; i < 2*n; i++ {
+			from := ProcID(1 + rng.Intn(n))
+			to := ProcID(1 + rng.Intn(n))
+			ch := Channel{From: from, To: to}
+			if from == to || seen[ch] {
+				continue
+			}
+			seen[ch] = true
+			nb.Chan(from, to, 1, 2)
+		}
+		net, err := nb.Build()
+		if err != nil {
+			return false
+		}
+		for _, src := range net.Procs() {
+			for _, dst := range net.Procs() {
+				p := net.ShortestHopPath(src, dst)
+				if p == nil {
+					continue
+				}
+				if err := p.ValidIn(net); err != nil {
+					return false
+				}
+				if p.First() != src || p.Last() != dst {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

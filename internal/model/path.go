@@ -1,0 +1,224 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is a sequence of process names describing a walk in the network
+// graph, as in Section 2.1 of the paper. A singleton path [i] denotes the
+// process i itself; longer paths describe message chains.
+type Path []ProcID
+
+// SingletonPath returns the path [i].
+func SingletonPath(i ProcID) Path { return Path{i} }
+
+// First returns the first process of the path. It panics on an empty path.
+func (p Path) First() ProcID { return p[0] }
+
+// Last returns the last process of the path. It panics on an empty path.
+func (p Path) Last() ProcID { return p[len(p)-1] }
+
+// IsSingleton reports whether the path consists of a single process.
+func (p Path) IsSingleton() bool { return len(p) == 1 }
+
+// Hops returns the number of channel traversals, len(p)-1.
+func (p Path) Hops() int { return len(p) - 1 }
+
+// Clone returns an independent copy of the path.
+func (p Path) Clone() Path {
+	q := make(Path, len(p))
+	copy(q, p)
+	return q
+}
+
+// Append returns a new path p . q (concatenation of sequences). It does not
+// require the endpoints to match; use Compose for the paper's composition.
+func (p Path) Append(q ...ProcID) Path {
+	r := make(Path, 0, len(p)+len(q))
+	r = append(r, p...)
+	r = append(r, q...)
+	return r
+}
+
+// Compose implements the paper's path composition pq, defined when the last
+// element of p coincides with the first element of q: the shared process is
+// written once.
+func (p Path) Compose(q Path) (Path, error) {
+	if len(p) == 0 || len(q) == 0 {
+		return nil, ErrEmptyPath
+	}
+	if p.Last() != q.First() {
+		return nil, fmt.Errorf("model: cannot compose %v with %v: endpoint mismatch", p, q)
+	}
+	r := make(Path, 0, len(p)+len(q)-1)
+	r = append(r, p...)
+	r = append(r, q[1:]...)
+	return r, nil
+}
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether q is a prefix of p.
+func (p Path) HasPrefix(q Path) bool {
+	if len(q) > len(p) {
+		return false
+	}
+	return p[:len(q)].Equal(q)
+}
+
+// String renders the path as "[1 3 2]" style "1>3>2".
+func (p Path) String() string {
+	parts := make([]string, len(p))
+	for i, id := range p {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return strings.Join(parts, ">")
+}
+
+// ValidIn reports whether every consecutive pair of the path is a channel of
+// net and the path is non-empty with valid processes.
+func (p Path) ValidIn(net *Network) error {
+	if len(p) == 0 {
+		return ErrEmptyPath
+	}
+	for _, id := range p {
+		if !net.ValidProc(id) {
+			return fmt.Errorf("%w: %d", ErrBadProc, id)
+		}
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !net.HasChan(p[i], p[i+1]) {
+			return fmt.Errorf("%w: %d->%d in %s", ErrBrokenPath, p[i], p[i+1], p)
+		}
+	}
+	return nil
+}
+
+// LowerSum returns L(p), the sum of lower bounds along the path
+// (Section 2.1). The path must be valid in net.
+func (net *Network) LowerSum(p Path) (int, error) {
+	if err := p.ValidIn(net); err != nil {
+		return 0, err
+	}
+	sum := 0
+	for i := 0; i+1 < len(p); i++ {
+		sum += net.Lower(p[i], p[i+1])
+	}
+	return sum, nil
+}
+
+// UpperSum returns U(p), the sum of upper bounds along the path.
+func (net *Network) UpperSum(p Path) (int, error) {
+	if err := p.ValidIn(net); err != nil {
+		return 0, err
+	}
+	sum := 0
+	for i := 0; i+1 < len(p); i++ {
+		sum += net.Upper(p[i], p[i+1])
+	}
+	return sum, nil
+}
+
+// MustLowerSum is LowerSum that panics on error.
+func (net *Network) MustLowerSum(p Path) int {
+	v, err := net.LowerSum(p)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustUpperSum is UpperSum that panics on error.
+func (net *Network) MustUpperSum(p Path) int {
+	v, err := net.UpperSum(p)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// ShortestHopPath returns a path from src to dst minimizing hop count, using
+// breadth-first search, or nil if dst is unreachable. Singleton when
+// src == dst.
+func (net *Network) ShortestHopPath(src, dst ProcID) Path {
+	if !net.ValidProc(src) || !net.ValidProc(dst) {
+		return nil
+	}
+	if src == dst {
+		return SingletonPath(src)
+	}
+	prev := make(map[ProcID]ProcID, net.n)
+	seen := make(map[ProcID]bool, net.n)
+	seen[src] = true
+	queue := []ProcID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nxt := range net.Out(cur) {
+			if seen[nxt] {
+				continue
+			}
+			seen[nxt] = true
+			prev[nxt] = cur
+			if nxt == dst {
+				var rev Path
+				for at := dst; ; at = prev[at] {
+					rev = append(rev, at)
+					if at == src {
+						break
+					}
+				}
+				// Reverse in place.
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, nxt)
+		}
+	}
+	return nil
+}
+
+// Reachable reports whether dst is reachable from src along channels.
+func (net *Network) Reachable(src, dst ProcID) bool {
+	return net.ShortestHopPath(src, dst) != nil
+}
+
+// Diameter returns the maximum over all ordered reachable pairs of the
+// minimum hop count, or 0 for networks with no reachable pairs.
+func (net *Network) Diameter() int {
+	max := 0
+	for _, src := range net.Procs() {
+		// BFS computing hop distances from src.
+		dist := map[ProcID]int{src: 0}
+		queue := []ProcID{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nxt := range net.Out(cur) {
+				if _, ok := dist[nxt]; ok {
+					continue
+				}
+				dist[nxt] = dist[cur] + 1
+				if dist[nxt] > max {
+					max = dist[nxt]
+				}
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	return max
+}

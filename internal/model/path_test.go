@@ -1,0 +1,129 @@
+package model
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := Path{1, 2, 3}
+	if p.First() != 1 || p.Last() != 3 || p.Hops() != 2 || p.IsSingleton() {
+		t.Error("path accessors wrong")
+	}
+	s := SingletonPath(7)
+	if !s.IsSingleton() || s.Hops() != 0 {
+		t.Error("singleton wrong")
+	}
+	if got := p.String(); got != "1>2>3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPathClone(t *testing.T) {
+	p := Path{1, 2, 3}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestPathCompose(t *testing.T) {
+	p := Path{1, 2, 3}
+	q := Path{3, 4}
+	r, err := p.Compose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(Path{1, 2, 3, 4}) {
+		t.Errorf("compose = %v", r)
+	}
+	if _, err := p.Compose(Path{9, 1}); err == nil {
+		t.Error("mismatched compose succeeded")
+	}
+	if _, err := (Path{}).Compose(q); !errors.Is(err, ErrEmptyPath) {
+		t.Errorf("empty compose: %v", err)
+	}
+	// Singleton identity: p ∘ [last(p)] == p.
+	r, err = p.Compose(SingletonPath(3))
+	if err != nil || !r.Equal(p) {
+		t.Errorf("identity compose = %v, %v", r, err)
+	}
+}
+
+func TestPathPrefix(t *testing.T) {
+	p := Path{1, 2, 3, 4}
+	if !p.HasPrefix(Path{1, 2}) || !p.HasPrefix(p) || p.HasPrefix(Path{2}) {
+		t.Error("HasPrefix wrong")
+	}
+	if p.HasPrefix(Path{1, 2, 3, 4, 5}) {
+		t.Error("longer prefix accepted")
+	}
+}
+
+func TestPathValidIn(t *testing.T) {
+	net := MustLine(4, 1, 2)
+	if err := (Path{1, 2, 3}).ValidIn(net); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+	if err := (Path{1, 3}).ValidIn(net); !errors.Is(err, ErrBrokenPath) {
+		t.Errorf("broken path: %v", err)
+	}
+	if err := (Path{}).ValidIn(net); !errors.Is(err, ErrEmptyPath) {
+		t.Errorf("empty path: %v", err)
+	}
+	if err := (Path{1, 9}).ValidIn(net); !errors.Is(err, ErrBadProc) {
+		t.Errorf("bad proc: %v", err)
+	}
+}
+
+func TestPathSums(t *testing.T) {
+	net := NewBuilder(3).Chan(1, 2, 2, 5).Chan(2, 3, 3, 7).MustBuild()
+	p := Path{1, 2, 3}
+	if l := net.MustLowerSum(p); l != 5 {
+		t.Errorf("L(p) = %d, want 5", l)
+	}
+	if u := net.MustUpperSum(p); u != 12 {
+		t.Errorf("U(p) = %d, want 12", u)
+	}
+	if l := net.MustLowerSum(SingletonPath(1)); l != 0 {
+		t.Errorf("L(singleton) = %d, want 0", l)
+	}
+	if _, err := net.LowerSum(Path{3, 1}); err == nil {
+		t.Error("sum over missing channel succeeded")
+	}
+}
+
+// TestComposeSumAdditivity: L and U are additive under composition.
+func TestComposeSumAdditivity(t *testing.T) {
+	net := MustComplete(5, 2, 6)
+	f := func(a, b, c uint8) bool {
+		p := Path{ProcID(a%5 + 1), ProcID(b%5 + 1)}
+		if p[0] == p[1] {
+			return true
+		}
+		q := Path{p[1], ProcID(c%5 + 1)}
+		if q[0] == q[1] {
+			return true
+		}
+		pq, err := p.Compose(q)
+		if err != nil {
+			return false
+		}
+		return net.MustLowerSum(pq) == net.MustLowerSum(p)+net.MustLowerSum(q) &&
+			net.MustUpperSum(pq) == net.MustUpperSum(p)+net.MustUpperSum(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHopsAppend: Append never mutates its receiver and extends hops.
+func TestHopsAppend(t *testing.T) {
+	p := Path{1, 2}
+	q := p.Append(3)
+	if p.Hops() != 1 || q.Hops() != 2 || !q.Equal(Path{1, 2, 3}) {
+		t.Errorf("append: p=%v q=%v", p, q)
+	}
+}

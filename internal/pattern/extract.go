@@ -1,0 +1,174 @@
+package pattern
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// FromSteps translates a constraint path (a path in a bounds graph, reported
+// as bounds.Step values) into a zigzag pattern from theta1 to the path's
+// final node, with wt(Z) equal to the path's weight. It is the constructive
+// content of Lemma 5 (for basic-graph paths) and of Lemmas 10-16 (for
+// extended-graph constraint paths, where the result is sigma-visible).
+//
+// The translation maintains one open fork whose head tracks the current
+// position along the path:
+//
+//   - a successor step closes the fork and opens a trivial one (the pair is
+//     non-joined: +1, matching the edge weight);
+//   - a lower step (message or chain hop) extends the open fork's head leg;
+//   - an upper step with an empty head leg refolds the fork around the
+//     sender (Lemma 5 case 2): the base moves to the sender and the hop is
+//     prepended to the tail leg;
+//   - an upper step with a non-empty head leg closes the fork and opens a
+//     joined fork at the sender whose tail leg is the single hop back;
+//   - an auxiliary segment (enter, hops, exit) opens a non-joined fork at
+//     the exit node whose tail leg retraces the beyond-horizon chain the
+//     auxiliary vertices stand for (Lemmas 11-12).
+func FromSteps(net *model.Network, theta1 run.GeneralNode, steps []bounds.Step) (*Zigzag, error) {
+	z := &Zigzag{}
+	cur := TrivialFork(theta1)
+	var auxProcs []model.ProcID // processes of the current auxiliary segment
+
+	closeFork := func(nonJoined bool) {
+		z.Forks = append(z.Forks, cur)
+		z.NonJoined = append(z.NonJoined, nonJoined)
+	}
+	headEmpty := func() bool { return cur.HeadPath.IsSingleton() }
+
+	for i, s := range steps {
+		inAux := auxProcs != nil
+		switch s.Kind {
+		case bounds.StepSucc:
+			if inAux {
+				return nil, fmt.Errorf("pattern: step %d: successor edge inside auxiliary segment", i)
+			}
+			closeFork(true)
+			cur = TrivialFork(s.To.Node)
+
+		case bounds.StepLower:
+			if inAux {
+				return nil, fmt.Errorf("pattern: step %d: lower edge inside auxiliary segment", i)
+			}
+			cur.HeadPath = cur.HeadPath.Append(s.To.Node.Proc())
+
+		case bounds.StepUpper:
+			if inAux {
+				return nil, fmt.Errorf("pattern: step %d: upper edge inside auxiliary segment", i)
+			}
+			sender := s.To.Node
+			if headEmpty() {
+				// Refold: base moves to the sender, hop prepends to tail.
+				tail := model.SingletonPath(sender.Proc()).Append(cur.TailPath...)
+				cur = Fork{
+					Base:     sender,
+					HeadPath: model.SingletonPath(sender.Proc()),
+					TailPath: tail,
+				}
+			} else {
+				closeFork(false)
+				cur = Fork{
+					Base:     sender,
+					HeadPath: model.SingletonPath(sender.Proc()),
+					TailPath: model.Path{sender.Proc(), s.From.Node.Proc()},
+				}
+			}
+
+		case bounds.StepAuxEnter:
+			if inAux {
+				return nil, fmt.Errorf("pattern: step %d: nested auxiliary segment", i)
+			}
+			closeFork(true)
+			auxProcs = []model.ProcID{s.To.Proc}
+
+		case bounds.StepAuxHop:
+			if !inAux {
+				return nil, fmt.Errorf("pattern: step %d: auxiliary hop outside segment", i)
+			}
+			auxProcs = append(auxProcs, s.To.Proc)
+
+		case bounds.StepAuxExit:
+			if !inAux {
+				return nil, fmt.Errorf("pattern: step %d: auxiliary exit outside segment", i)
+			}
+			// The segment stands for the chain sender -> l_k -> ... -> l_1;
+			// the tail leg retraces it from the exit node.
+			exit := s.To.Node
+			tail := model.SingletonPath(exit.Proc())
+			for j := len(auxProcs) - 1; j >= 0; j-- {
+				tail = tail.Append(auxProcs[j])
+			}
+			cur = Fork{Base: exit, HeadPath: model.SingletonPath(exit.Proc()), TailPath: tail}
+			auxProcs = nil
+
+		case bounds.StepAuxChain:
+			if !inAux {
+				return nil, fmt.Errorf("pattern: step %d: auxiliary chain edge outside segment", i)
+			}
+			eta := s.To.Node
+			if auxProcs[len(auxProcs)-1] != eta.Proc() {
+				return nil, fmt.Errorf("pattern: step %d: chain vertex on %d but segment ends at %d",
+					i, eta.Proc(), auxProcs[len(auxProcs)-1])
+			}
+			tail := model.SingletonPath(eta.Proc())
+			for j := len(auxProcs) - 2; j >= 0; j-- {
+				tail = tail.Append(auxProcs[j])
+			}
+			cur = Fork{Base: eta, HeadPath: model.SingletonPath(eta.Proc()), TailPath: tail}
+			auxProcs = nil
+
+		default:
+			return nil, fmt.Errorf("pattern: step %d: unknown kind %v", i, s.Kind)
+		}
+	}
+	if auxProcs != nil {
+		return nil, fmt.Errorf("pattern: constraint path ends inside auxiliary segment")
+	}
+	z.Forks = append(z.Forks, cur)
+
+	// Defence in depth: the translation must preserve weight exactly.
+	want := bounds.PathWeight(steps)
+	got, err := z.Weight(net)
+	if err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: path weight %d, zigzag weight %d", ErrWeightMismatch, want, got)
+	}
+	return z, nil
+}
+
+// ExtractBasic finds the heaviest zigzag pattern from sigma1 to sigma2
+// supported by the run's communication structure: the longest path in GB(r)
+// translated through Lemma 5. found is false when GB(r) has no path between
+// the nodes (no precedence bound is supported; Theorem 2's counterfactual
+// run applies).
+func ExtractBasic(b *bounds.Basic, sigma1, sigma2 run.BasicNode) (z *Zigzag, weight int, found bool, err error) {
+	w, steps, ok, err := b.LongestBetween(sigma1, sigma2)
+	if err != nil || !ok {
+		return nil, 0, false, err
+	}
+	z, err = FromSteps(b.Run().Net(), run.At(sigma1), steps)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return z, w, true, nil
+}
+
+// KnowledgeWitness computes kw(sigma, theta1, theta2) and extracts the
+// sigma-visible zigzag witnessing it (the constructive half of Theorem 4).
+// known is false when sigma knows no bound at all.
+func KnowledgeWitness(e *bounds.Extended, theta1, theta2 run.GeneralNode) (v *Visible, kw int, known bool, err error) {
+	w, steps, ok, err := e.KnowledgeWeight(theta1, theta2)
+	if err != nil || !ok {
+		return nil, 0, false, err
+	}
+	z, err := FromSteps(e.Net(), theta1, steps)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return &Visible{Zigzag: *z, Sigma: e.Past().Origin()}, w, true, nil
+}

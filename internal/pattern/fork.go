@@ -1,0 +1,161 @@
+// Package pattern implements the paper's primary contribution: two-legged
+// forks (Definition 5), zigzag patterns (Definition 6) and sigma-visible
+// zigzag patterns (Definition 7), together with
+//
+//   - weight computation wt(F) = L(p1) - U(p2) and
+//     wt(Z) = sum wt(F_k) + S(Z);
+//   - verification of a pattern against a run, which checks the structural
+//     conditions of Definition 6 and the timed-precedence guarantee of
+//     Theorem 1 (tail --wt(Z)--> head);
+//   - constructive extraction of zigzags from constraint paths in the
+//     bounds graphs, replaying Lemma 5 (basic graph) and Lemmas 10-16
+//     (extended graph, yielding sigma-visible zigzags).
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Pattern errors.
+var (
+	ErrMalformedFork  = errors.New("pattern: malformed fork")
+	ErrNotAZigzag     = errors.New("pattern: fork sequence violates Definition 6")
+	ErrWeightMismatch = errors.New("pattern: declared weight disagrees with recomputation")
+	ErrEndpoint       = errors.New("pattern: zigzag endpoint mismatch")
+	ErrNotVisible     = errors.New("pattern: zigzag is not sigma-visible")
+	ErrPrecedence     = errors.New("pattern: Theorem 1 precedence violated")
+	ErrUnresolvable   = errors.New("pattern: node unresolvable within the run's horizon")
+)
+
+// Fork is a two-legged fork F = <theta0, theta0 p1, theta0 p2>: message
+// chains from a common base node to a head (the lower-bound leg p1) and a
+// tail (the upper-bound leg p2). HeadPath and TailPath start at the base
+// node's process; singleton paths denote empty legs.
+type Fork struct {
+	Base     run.GeneralNode
+	HeadPath model.Path
+	TailPath model.Path
+}
+
+// TrivialFork returns the fork (theta, theta, theta) with empty legs.
+func TrivialFork(theta run.GeneralNode) Fork {
+	p := model.SingletonPath(theta.Proc())
+	return Fork{Base: theta, HeadPath: p, TailPath: p}
+}
+
+// Head returns head(F) = base . p1.
+func (f Fork) Head() (run.GeneralNode, error) { return f.Base.Extend(f.HeadPath) }
+
+// Tail returns tail(F) = base . p2.
+func (f Fork) Tail() (run.GeneralNode, error) { return f.Base.Extend(f.TailPath) }
+
+// Weight returns wt(F) = L(p1) - U(p2).
+func (f Fork) Weight(net *model.Network) (int, error) {
+	l, err := net.LowerSum(f.HeadPath)
+	if err != nil {
+		return 0, fmt.Errorf("%w: head leg: %v", ErrMalformedFork, err)
+	}
+	u, err := net.UpperSum(f.TailPath)
+	if err != nil {
+		return 0, fmt.Errorf("%w: tail leg: %v", ErrMalformedFork, err)
+	}
+	return l - u, nil
+}
+
+// Check verifies the fork's structural well-formedness in net.
+func (f Fork) Check(net *model.Network) error {
+	if err := f.Base.Valid(net); err != nil {
+		return fmt.Errorf("%w: base %s: %v", ErrMalformedFork, f.Base, err)
+	}
+	for _, leg := range []model.Path{f.HeadPath, f.TailPath} {
+		if len(leg) == 0 || leg.First() != f.Base.Proc() {
+			return fmt.Errorf("%w: leg %s does not start at base process %d",
+				ErrMalformedFork, leg, f.Base.Proc())
+		}
+		if err := leg.ValidIn(net); err != nil {
+			return fmt.Errorf("%w: leg %s: %v", ErrMalformedFork, leg, err)
+		}
+	}
+	return nil
+}
+
+// String renders the fork as "F(base=..., head=..., tail=...)".
+func (f Fork) String() string {
+	return fmt.Sprintf("F(base=%s head+%s tail+%s)", f.Base, f.HeadPath, f.TailPath)
+}
+
+// Zigzag is a zigzag pattern Z = (F_1, ..., F_c): tail(F_1) is the pattern's
+// source node theta1, head(F_c) its destination theta2, and for consecutive
+// forks head(F_k) and tail(F_{k+1}) lie on the same timeline with
+// time(head(F_k)) <= time(tail(F_{k+1})). NonJoined[k] records whether
+// head(F_k) and tail(F_{k+1}) are distinct basic nodes, in which case the
+// pair contributes +1 to the weight (the S(Z) term of Definition 6).
+type Zigzag struct {
+	Forks     []Fork
+	NonJoined []bool
+}
+
+// Len returns c, the number of forks.
+func (z *Zigzag) Len() int { return len(z.Forks) }
+
+// Tail returns tail(F_1), the pattern's source node.
+func (z *Zigzag) Tail() (run.GeneralNode, error) {
+	if len(z.Forks) == 0 {
+		return run.GeneralNode{}, ErrNotAZigzag
+	}
+	return z.Forks[0].Tail()
+}
+
+// Head returns head(F_c), the pattern's destination node.
+func (z *Zigzag) Head() (run.GeneralNode, error) {
+	if len(z.Forks) == 0 {
+		return run.GeneralNode{}, ErrNotAZigzag
+	}
+	return z.Forks[len(z.Forks)-1].Head()
+}
+
+// Weight returns wt(Z) = sum wt(F_k) + S(Z).
+func (z *Zigzag) Weight(net *model.Network) (int, error) {
+	if len(z.Forks) == 0 {
+		return 0, ErrNotAZigzag
+	}
+	if len(z.NonJoined) != len(z.Forks)-1 {
+		return 0, fmt.Errorf("%w: %d forks but %d join flags", ErrNotAZigzag, len(z.Forks), len(z.NonJoined))
+	}
+	total := 0
+	for _, f := range z.Forks {
+		w, err := f.Weight(net)
+		if err != nil {
+			return 0, err
+		}
+		total += w
+	}
+	for _, nj := range z.NonJoined {
+		if nj {
+			total++
+		}
+	}
+	return total, nil
+}
+
+// String renders a multi-line description.
+func (z *Zigzag) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Zigzag(%d forks)", len(z.Forks))
+	for i, f := range z.Forks {
+		fmt.Fprintf(&sb, "\n  %s", f)
+		if i < len(z.NonJoined) {
+			if z.NonJoined[i] {
+				sb.WriteString("  | non-joined (+1)")
+			} else {
+				sb.WriteString("  | joined")
+			}
+		}
+	}
+	return sb.String()
+}

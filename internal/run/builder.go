@@ -1,0 +1,216 @@
+package run
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/clockless/zigzag/internal/model"
+)
+
+// MessageEvent describes one delivery for the Builder: the FFIP message sent
+// by FromProc at SendTime (i.e. at FromProc's node whose time is exactly
+// SendTime) on the channel to ToProc, delivered at RecvTime.
+type MessageEvent struct {
+	FromProc model.ProcID
+	ToProc   model.ProcID
+	SendTime model.Time
+	RecvTime model.Time
+}
+
+// ExternalEvent describes a spontaneous external input for the Builder.
+type ExternalEvent struct {
+	Proc  model.ProcID
+	Time  model.Time
+	Label string
+}
+
+// Builder assembles a Run from raw timed events. Node indices are derived:
+// every distinct time at which a process receives something (messages and/or
+// externals) becomes one batch, creating one new basic node. The builder is
+// used by the simulator and by the run-synthesis constructions of
+// internal/timing (Lemma 8 run-by-timing, Definition 24 fast run).
+type Builder struct {
+	net      *model.Network
+	horizon  model.Time
+	messages []MessageEvent
+	externs  []ExternalEvent
+}
+
+// NewBuilder returns a Builder for runs over net recorded up to horizon.
+func NewBuilder(net *model.Network, horizon model.Time) *Builder {
+	return &Builder{net: net, horizon: horizon}
+}
+
+// Message appends a delivery event.
+func (bl *Builder) Message(ev MessageEvent) *Builder {
+	bl.messages = append(bl.messages, ev)
+	return bl
+}
+
+// External appends an external-input event.
+func (bl *Builder) External(ev ExternalEvent) *Builder {
+	bl.externs = append(bl.externs, ev)
+	return bl
+}
+
+// Build derives node indices, wires deliveries to nodes and returns the Run.
+// It fails if any event is inconsistent (bad channel, bad times, sender has
+// no node at the send time, event beyond horizon). Build does NOT check the
+// forced-delivery (upper bound deadline) discipline — call Validate on the
+// result for full legality checking.
+func (bl *Builder) Build() (*Run, error) {
+	n := bl.net.N()
+
+	// 1. Collect the receive times of every process.
+	recvTimes := make([]map[model.Time]bool, n)
+	for i := range recvTimes {
+		recvTimes[i] = make(map[model.Time]bool)
+	}
+	note := func(p model.ProcID, t model.Time, what string) error {
+		if !bl.net.ValidProc(p) {
+			return fmt.Errorf("%w: %s at process %d", model.ErrBadProc, what, p)
+		}
+		if t < 1 {
+			return fmt.Errorf("run: %s at time %d: receipts start at time 1", what, t)
+		}
+		if t > bl.horizon {
+			return fmt.Errorf("%w: %s at time %d > horizon %d", ErrOutsideHorizon, what, t, bl.horizon)
+		}
+		recvTimes[p-1][t] = true
+		return nil
+	}
+	for _, ev := range bl.messages {
+		if err := note(ev.ToProc, ev.RecvTime, fmt.Sprintf("delivery %d->%d", ev.FromProc, ev.ToProc)); err != nil {
+			return nil, err
+		}
+	}
+	for _, ev := range bl.externs {
+		if err := note(ev.Proc, ev.Time, fmt.Sprintf("external %q", ev.Label)); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Assign node indices per process: index 0 at time 0, then one node
+	// per distinct receive time in ascending order.
+	r := &Run{
+		net:     bl.net,
+		horizon: bl.horizon,
+		times:   make([][]model.Time, n),
+		inbox:   make(map[BasicNode][]int),
+		extIn:   make(map[BasicNode][]int),
+		sent:    make(map[BasicNode]map[model.ProcID]int),
+	}
+	nodeOf := make([]map[model.Time]BasicNode, n)
+	for i := 0; i < n; i++ {
+		ts := make([]model.Time, 0, len(recvTimes[i])+1)
+		for t := range recvTimes[i] {
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		r.times[i] = append([]model.Time{0}, ts...)
+		nodeOf[i] = make(map[model.Time]BasicNode, len(ts))
+		for k, t := range ts {
+			nodeOf[i][t] = BasicNode{Proc: model.ProcID(i + 1), Index: k + 1}
+		}
+	}
+
+	// 3. Wire deliveries.
+	senderAt := func(p model.ProcID, t model.Time) (BasicNode, error) {
+		if t == 0 {
+			return BasicNode{}, fmt.Errorf("%w: send at time 0 by process %d", ErrInitialSend, p)
+		}
+		b, ok := nodeOf[p-1][t]
+		if !ok {
+			return BasicNode{}, fmt.Errorf("run: process %d has no node at send time %d", p, t)
+		}
+		return b, nil
+	}
+	for _, ev := range bl.messages {
+		if !bl.net.HasChan(ev.FromProc, ev.ToProc) {
+			return nil, fmt.Errorf("%w: %d->%d", ErrChannelMissing, ev.FromProc, ev.ToProc)
+		}
+		from, err := senderAt(ev.FromProc, ev.SendTime)
+		if err != nil {
+			return nil, err
+		}
+		to := nodeOf[ev.ToProc-1][ev.RecvTime]
+		d := Delivery{From: from, To: to, SendTime: ev.SendTime, RecvTime: ev.RecvTime}
+		bd, _ := bl.net.ChanBounds(ev.FromProc, ev.ToProc)
+		lat := ev.RecvTime - ev.SendTime
+		if lat < bd.Lower || lat > bd.Upper {
+			return nil, fmt.Errorf("%w: %s latency %d outside %s", ErrBadDelivery, d, lat, bd)
+		}
+		if m := r.sent[from]; m != nil {
+			if _, dup := m[ev.ToProc]; dup {
+				return nil, fmt.Errorf("%w: %s to %d", ErrDuplicateSend, from, ev.ToProc)
+			}
+		} else {
+			r.sent[from] = make(map[model.ProcID]int)
+		}
+		idx := len(r.deliveries)
+		r.deliveries = append(r.deliveries, d)
+		r.sent[from][ev.ToProc] = idx
+		r.inbox[to] = append(r.inbox[to], idx)
+	}
+	for _, ev := range bl.externs {
+		to := nodeOf[ev.Proc-1][ev.Time]
+		idx := len(r.externals)
+		r.externals = append(r.externals, External{To: to, Time: ev.Time, Label: ev.Label})
+		r.extIn[to] = append(r.extIn[to], idx)
+	}
+
+	// 4. Derive pending messages: every non-initial node sends on every
+	// outgoing channel under FFIP; sends without a recorded delivery are
+	// still in transit.
+	for _, p := range bl.net.Procs() {
+		for k := 1; k <= r.LastIndex(p); k++ {
+			from := BasicNode{Proc: p, Index: k}
+			st := r.times[p-1][k]
+			for _, q := range bl.net.Out(p) {
+				if _, ok := r.DeliveryFrom(from, q); !ok {
+					r.pending = append(r.pending, Pending{From: from, To: q, SendTime: st})
+				}
+			}
+		}
+	}
+	sort.Slice(r.pending, func(i, j int) bool {
+		a, b := r.pending[i], r.pending[j]
+		if a.SendTime != b.SendTime {
+			return a.SendTime < b.SendTime
+		}
+		if a.From.Proc != b.From.Proc {
+			return a.From.Proc < b.From.Proc
+		}
+		return a.To < b.To
+	})
+	sort.Slice(r.deliveries, func(i, j int) bool {
+		a, b := r.deliveries[i], r.deliveries[j]
+		if a.RecvTime != b.RecvTime {
+			return a.RecvTime < b.RecvTime
+		}
+		if a.To.Proc != b.To.Proc {
+			return a.To.Proc < b.To.Proc
+		}
+		return a.From.Proc < b.From.Proc
+	})
+	// Re-index after sorting deliveries.
+	r.inbox = make(map[BasicNode][]int)
+	r.sent = make(map[BasicNode]map[model.ProcID]int)
+	for idx, d := range r.deliveries {
+		r.inbox[d.To] = append(r.inbox[d.To], idx)
+		if r.sent[d.From] == nil {
+			r.sent[d.From] = make(map[model.ProcID]int)
+		}
+		r.sent[d.From][d.To.Proc] = idx
+	}
+	return r, nil
+}
+
+// MustBuild is Build that panics on error.
+func (bl *Builder) MustBuild() *Run {
+	r, err := bl.Build()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,66 @@
+package run
+
+import (
+	"math/rand"
+
+	"github.com/clockless/zigzag/internal/model"
+)
+
+// buildRandomRun is a miniature FFIP simulator for property tests inside
+// this package (the real simulator lives in internal/sim, which imports
+// run and therefore cannot be used here).
+func buildRandomRun(net *model.Network, seed int64) (*Run, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const horizon = 30
+	bl := NewBuilder(net, horizon)
+	// One or two external triggers.
+	triggers := 1 + rng.Intn(2)
+	arrivals := make(map[model.Time]map[model.ProcID]bool) // proc received at t
+	for i := 0; i < triggers; i++ {
+		p := model.ProcID(1 + rng.Intn(net.N()))
+		t := model.Time(1 + rng.Intn(5))
+		bl.External(ExternalEvent{Proc: p, Time: t, Label: "tick"})
+		if arrivals[t] == nil {
+			arrivals[t] = make(map[model.ProcID]bool)
+		}
+		arrivals[t][p] = true
+	}
+	pending := make(map[model.Time][]MessageEvent)
+	for t := model.Time(1); t <= horizon; t++ {
+		received := make(map[model.ProcID]bool)
+		for _, ev := range pending[t] {
+			bl.Message(ev)
+			received[ev.ToProc] = true
+		}
+		delete(pending, t)
+		for p := range arrivals[t] {
+			received[p] = true
+		}
+		for _, p := range net.Procs() {
+			if !received[p] {
+				continue
+			}
+			for _, q := range net.Out(p) {
+				bd, _ := net.ChanBounds(p, q)
+				lat := bd.Lower
+				if bd.Upper > bd.Lower {
+					lat += rng.Intn(bd.Upper - bd.Lower + 1)
+				}
+				if t+lat > horizon {
+					continue
+				}
+				pending[t+lat] = append(pending[t+lat], MessageEvent{
+					FromProc: p, ToProc: q, SendTime: t, RecvTime: t + lat,
+				})
+			}
+		}
+	}
+	r, err := bl.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

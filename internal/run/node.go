@@ -1,0 +1,114 @@
+// Package run models executions of the bounded communication model: basic
+// nodes (process, local state), general nodes <sigma, p>, message deliveries,
+// external inputs, Lamport's happens-before relation and the causal past.
+//
+// A local state in a flooding full-information protocol (FFIP) is an initial
+// state followed by the sequence of receive batches the process has absorbed,
+// so a basic node is identified by (process, batch index): index 0 is the
+// initial state and index k is the state after the k-th batch of deliveries.
+// The payload of every FFIP message is the sender's full history; here that
+// history is represented structurally — it is exactly past(r, sender).
+package run
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/model"
+)
+
+// BasicNode is a pair (process, local state) — an i-node in the paper's
+// terminology. Index 0 denotes the initial state; index k >= 1 the state
+// reached after the k-th receive batch.
+type BasicNode struct {
+	Proc  model.ProcID
+	Index int
+}
+
+// IsInitial reports whether the node is an initial node (time-0 state).
+// Initial nodes never send messages: processes act only upon receipt.
+func (b BasicNode) IsInitial() bool { return b.Index == 0 }
+
+// Predecessor returns the node's predecessor on its timeline and false if
+// the node is initial.
+func (b BasicNode) Predecessor() (BasicNode, bool) {
+	if b.Index == 0 {
+		return BasicNode{}, false
+	}
+	return BasicNode{Proc: b.Proc, Index: b.Index - 1}, true
+}
+
+// Successor returns the next node on the same timeline. Whether it appears
+// in a given run is a separate question.
+func (b BasicNode) Successor() BasicNode {
+	return BasicNode{Proc: b.Proc, Index: b.Index + 1}
+}
+
+// String renders the node as "p3#2" (process 3, state index 2).
+func (b BasicNode) String() string { return fmt.Sprintf("p%d#%d", b.Proc, b.Index) }
+
+// GeneralNode is the paper's <sigma, p>: the basic node at the end of the
+// FFIP message chain that leaves sigma and travels along path p. Path must
+// begin at sigma's process; a singleton path denotes sigma itself.
+type GeneralNode struct {
+	Base BasicNode
+	Path model.Path
+}
+
+// At returns the general node <sigma, [proc(sigma)]>, denoting sigma itself.
+func At(sigma BasicNode) GeneralNode {
+	return GeneralNode{Base: sigma, Path: model.SingletonPath(sigma.Proc)}
+}
+
+// Via returns the general node <sigma, p>.
+func Via(sigma BasicNode, p model.Path) GeneralNode {
+	return GeneralNode{Base: sigma, Path: p}
+}
+
+// IsBasic reports whether the node denotes its base directly (singleton
+// path).
+func (g GeneralNode) IsBasic() bool { return g.Path.IsSingleton() }
+
+// Proc returns the process on whose timeline the node lies: the last
+// process of the chain path.
+func (g GeneralNode) Proc() model.ProcID { return g.Path.Last() }
+
+// Extend returns <sigma, p . q'> where the node's path is extended by the
+// hops of q (q must start at the node's process).
+func (g GeneralNode) Extend(q model.Path) (GeneralNode, error) {
+	p, err := g.Path.Compose(q)
+	if err != nil {
+		return GeneralNode{}, err
+	}
+	return GeneralNode{Base: g.Base, Path: p}, nil
+}
+
+// Hop returns the node extended by the single channel to proc j.
+func (g GeneralNode) Hop(j model.ProcID) GeneralNode {
+	return GeneralNode{Base: g.Base, Path: g.Path.Append(j)}
+}
+
+// Valid reports whether the node is well-formed relative to net: non-empty
+// path starting at the base's process and following channels of net.
+func (g GeneralNode) Valid(net *model.Network) error {
+	if len(g.Path) == 0 {
+		return model.ErrEmptyPath
+	}
+	if g.Path.First() != g.Base.Proc {
+		return fmt.Errorf("run: general node path %s does not start at base process %d",
+			g.Path, g.Base.Proc)
+	}
+	return g.Path.ValidIn(net)
+}
+
+// Equal reports structural equality of two general nodes.
+func (g GeneralNode) Equal(h GeneralNode) bool {
+	return g.Base == h.Base && g.Path.Equal(h.Path)
+}
+
+// String renders the node as "<p3#2, 3>1>4>".
+func (g GeneralNode) String() string {
+	if g.IsBasic() {
+		return g.Base.String()
+	}
+	return fmt.Sprintf("<%s,%s>", g.Base, g.Path)
+}

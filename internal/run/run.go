@@ -1,0 +1,262 @@
+package run
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/clockless/zigzag/internal/model"
+)
+
+// Delivery records one message delivery: the FFIP message sent at node From
+// on the channel (From.Proc -> To.Proc) at SendTime, delivered at node To at
+// RecvTime. In an FFIP run every non-initial node sends exactly one message
+// per outgoing channel, so (From, To.Proc) identifies the message.
+type Delivery struct {
+	From     BasicNode
+	To       BasicNode
+	SendTime model.Time
+	RecvTime model.Time
+}
+
+// Channel returns the channel the message travelled on.
+func (d Delivery) Channel() model.Channel {
+	return model.Channel{From: d.From.Proc, To: d.To.Proc}
+}
+
+// String renders the delivery as "p1#2@5 => p3#4@9".
+func (d Delivery) String() string {
+	return fmt.Sprintf("%s@%d => %s@%d", d.From, d.SendTime, d.To, d.RecvTime)
+}
+
+// External records the delivery of a spontaneous external message from the
+// environment's set E to node To at time Time.
+type External struct {
+	To    BasicNode
+	Time  model.Time
+	Label string
+}
+
+// String renders the external as "ext(go)->p2#1@3".
+func (e External) String() string {
+	return fmt.Sprintf("ext(%s)->%s@%d", e.Label, e.To, e.Time)
+}
+
+// Pending describes an FFIP message that was sent but not delivered within
+// the run's horizon (it is still in transit when the recording stops).
+type Pending struct {
+	From     BasicNode
+	To       model.ProcID
+	SendTime model.Time
+}
+
+// Deadline returns the latest time the environment may deliver the message.
+func (p Pending) Deadline(net *model.Network) model.Time {
+	return p.SendTime + net.Upper(p.From.Proc, p.To)
+}
+
+// Run is a finite recording of an execution of the FFIP in a bounded
+// context: the first Horizon+1 global states of an infinite run. It is
+// immutable once built and safe for concurrent reads.
+type Run struct {
+	net     *model.Network
+	horizon model.Time
+
+	// times[p-1][k] is the time of node (p, k); times[p-1][0] == 0.
+	times [][]model.Time
+
+	deliveries []Delivery
+	externals  []External
+
+	// inbox[node] lists indices into deliveries that were absorbed in the
+	// node's creating batch; extIn likewise for externals.
+	inbox map[BasicNode][]int
+	extIn map[BasicNode][]int
+
+	// sent[from][to] is the index into deliveries of the message sent at
+	// node from to process to, if it was delivered within the horizon.
+	sent map[BasicNode]map[model.ProcID]int
+
+	pending []Pending
+}
+
+// Errors reported by run construction and validation.
+var (
+	ErrNoNode            = errors.New("run: node does not appear in run")
+	ErrUnresolvable      = errors.New("run: general node not resolvable within horizon")
+	ErrBadDelivery       = errors.New("run: delivery violates channel bounds")
+	ErrMissedDeadline    = errors.New("run: message not delivered by its upper bound")
+	ErrInitialSend       = errors.New("run: initial nodes cannot send messages")
+	ErrOrphanNode        = errors.New("run: non-initial node with no incoming deliveries")
+	ErrDuplicateSend     = errors.New("run: multiple messages for one (node, channel)")
+	ErrNonMonotoneTimes  = errors.New("run: node times not strictly increasing")
+	ErrOutsideHorizon    = errors.New("run: event beyond horizon")
+	ErrChannelMissing    = errors.New("run: delivery on a non-existent channel")
+	ErrTimeMismatch      = errors.New("run: event time disagrees with node time")
+	ErrExternalToInitial = errors.New("run: external delivered to an initial node")
+)
+
+// Net returns the network the run executes over.
+func (r *Run) Net() *model.Network { return r.net }
+
+// Horizon returns the last recorded time step.
+func (r *Run) Horizon() model.Time { return r.horizon }
+
+// NumNodes returns the total number of basic nodes appearing in the run,
+// including the n initial nodes.
+func (r *Run) NumNodes() int {
+	total := 0
+	for _, ts := range r.times {
+		total += len(ts)
+	}
+	return total
+}
+
+// LastIndex returns the largest state index of process p in the run
+// (0 if p only has its initial node).
+func (r *Run) LastIndex(p model.ProcID) int { return len(r.times[p-1]) - 1 }
+
+// Appears reports whether the basic node appears in the run.
+func (r *Run) Appears(b BasicNode) bool {
+	if !r.net.ValidProc(b.Proc) || b.Index < 0 {
+		return false
+	}
+	return b.Index < len(r.times[b.Proc-1])
+}
+
+// Time returns time_r(sigma), the (minimal) time at which the node's local
+// state holds.
+func (r *Run) Time(b BasicNode) (model.Time, error) {
+	if !r.Appears(b) {
+		return 0, fmt.Errorf("%w: %s", ErrNoNode, b)
+	}
+	return r.times[b.Proc-1][b.Index], nil
+}
+
+// MustTime is Time that panics if the node does not appear.
+func (r *Run) MustTime(b BasicNode) model.Time {
+	t, err := r.Time(b)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NodeAt returns the node of process p whose state holds at time t: the
+// last node with time <= t. The initial node covers every time before the
+// first batch.
+func (r *Run) NodeAt(p model.ProcID, t model.Time) BasicNode {
+	ts := r.times[p-1]
+	// Binary search for the last index with ts[idx] <= t.
+	idx := sort.Search(len(ts), func(i int) bool { return ts[i] > t }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return BasicNode{Proc: p, Index: idx}
+}
+
+// Deliveries returns all deliveries in recording order. Callers must not
+// mutate the returned slice.
+func (r *Run) Deliveries() []Delivery { return r.deliveries }
+
+// Externals returns all external inputs. Callers must not mutate the
+// returned slice.
+func (r *Run) Externals() []External { return r.externals }
+
+// PendingMessages returns the messages still in transit at the horizon.
+// Callers must not mutate the returned slice.
+func (r *Run) PendingMessages() []Pending { return r.pending }
+
+// Inbox returns the deliveries absorbed by the batch that created node b.
+func (r *Run) Inbox(b BasicNode) []Delivery {
+	idxs := r.inbox[b]
+	ds := make([]Delivery, len(idxs))
+	for i, idx := range idxs {
+		ds[i] = r.deliveries[idx]
+	}
+	return ds
+}
+
+// ExternalsAt returns the external inputs absorbed by the batch that
+// created node b.
+func (r *Run) ExternalsAt(b BasicNode) []External {
+	idxs := r.extIn[b]
+	es := make([]External, len(idxs))
+	for i, idx := range idxs {
+		es[i] = r.externals[idx]
+	}
+	return es
+}
+
+// DeliveryFrom returns the delivery of the message sent at node from to
+// process to, and false if that message is still pending (or from never
+// sends, i.e. it is initial).
+func (r *Run) DeliveryFrom(from BasicNode, to model.ProcID) (Delivery, bool) {
+	m, ok := r.sent[from]
+	if !ok {
+		return Delivery{}, false
+	}
+	idx, ok := m[to]
+	if !ok {
+		return Delivery{}, false
+	}
+	return r.deliveries[idx], true
+}
+
+// Resolve computes basic(theta, r) per Definition 4: the basic node reached
+// by following theta's message chain. It fails with ErrUnresolvable if a
+// link of the chain is still pending at the horizon, and with ErrNoNode if
+// the base does not appear.
+func (r *Run) Resolve(theta GeneralNode) (BasicNode, error) {
+	if err := theta.Valid(r.net); err != nil {
+		return BasicNode{}, err
+	}
+	if !r.Appears(theta.Base) {
+		return BasicNode{}, fmt.Errorf("%w: base %s", ErrNoNode, theta.Base)
+	}
+	cur := theta.Base
+	for _, next := range theta.Path[1:] {
+		if cur.IsInitial() {
+			return BasicNode{}, fmt.Errorf("%w: chain of %s leaves initial node %s",
+				ErrUnresolvable, theta, cur)
+		}
+		d, ok := r.DeliveryFrom(cur, next)
+		if !ok {
+			return BasicNode{}, fmt.Errorf("%w: %s stuck at %s->%d", ErrUnresolvable, theta, cur, next)
+		}
+		cur = d.To
+	}
+	return cur, nil
+}
+
+// TimeOf returns time_r(theta) = time_r(basic(theta, r)).
+func (r *Run) TimeOf(theta GeneralNode) (model.Time, error) {
+	b, err := r.Resolve(theta)
+	if err != nil {
+		return 0, err
+	}
+	return r.Time(b)
+}
+
+// MustTimeOf is TimeOf that panics on error.
+func (r *Run) MustTimeOf(theta GeneralNode) model.Time {
+	t, err := r.TimeOf(theta)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Precedes reports whether (R, r) |= theta1 --x--> theta2: both nodes are
+// resolvable and time(theta1) + x <= time(theta2).
+func (r *Run) Precedes(theta1 GeneralNode, x int, theta2 GeneralNode) (bool, error) {
+	t1, err := r.TimeOf(theta1)
+	if err != nil {
+		return false, err
+	}
+	t2, err := r.TimeOf(theta2)
+	if err != nil {
+		return false, err
+	}
+	return t1+x <= t2, nil
+}

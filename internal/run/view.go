@@ -1,0 +1,316 @@
+package run
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/clockless/zigzag/internal/model"
+)
+
+// View is the subjective information content of a node's local state under
+// an FFIP: the structure of its causal past — which nodes exist, which
+// deliveries wired them together, which external inputs arrived — and
+// nothing else. Crucially, a View carries no real-time information: every
+// analysis built on it (in particular the extended bounds graph and hence
+// all knowledge computation) is a function of structure alone, which is the
+// paper's clockless point made executable.
+//
+// Views come from two places: ViewOf extracts one from a recorded run
+// (offline analysis), and the live engine of internal/live accumulates one
+// message by message inside each process goroutine (online decisions).
+type View struct {
+	net    *model.Network
+	origin BasicNode
+	// members[p-1] is the boundary index of process p (-1 if absent).
+	members []int
+	// sent[from][toProc] = receiving node, for deliveries inside the view.
+	sent map[BasicNode]map[model.ProcID]BasicNode
+	// externals[node] lists external-input labels absorbed at that node.
+	externals map[BasicNode][]string
+}
+
+// ViewOf extracts the view of sigma from a recorded run.
+func ViewOf(r *Run, sigma BasicNode) (*View, error) {
+	ps, err := r.Past(sigma)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{
+		net:       r.net,
+		origin:    sigma,
+		members:   append([]int(nil), ps.members...),
+		sent:      make(map[BasicNode]map[model.ProcID]BasicNode),
+		externals: make(map[BasicNode][]string),
+	}
+	for _, d := range r.deliveries {
+		if !ps.Contains(d.To) {
+			continue
+		}
+		v.recordDelivery(d.From, d.To)
+	}
+	for _, e := range r.externals {
+		if ps.Contains(e.To) {
+			v.externals[e.To] = append(v.externals[e.To], e.Label)
+		}
+	}
+	return v, nil
+}
+
+// NewLocalView returns the view of process p's initial state.
+func NewLocalView(net *model.Network, p model.ProcID) *View {
+	v := &View{
+		net:       net,
+		origin:    BasicNode{Proc: p, Index: 0},
+		members:   make([]int, net.N()),
+		sent:      make(map[BasicNode]map[model.ProcID]BasicNode),
+		externals: make(map[BasicNode][]string),
+	}
+	for i := range v.members {
+		v.members[i] = -1
+	}
+	v.members[p-1] = 0
+	return v
+}
+
+func (v *View) recordDelivery(from BasicNode, to BasicNode) {
+	m := v.sent[from]
+	if m == nil {
+		m = make(map[model.ProcID]BasicNode)
+		v.sent[from] = m
+	}
+	m[to.Proc] = to
+}
+
+// Net returns the network the view lives in.
+func (v *View) Net() *model.Network { return v.net }
+
+// Origin returns the node whose local state the view represents.
+func (v *View) Origin() BasicNode { return v.origin }
+
+// Contains reports membership of a basic node in the view.
+func (v *View) Contains(b BasicNode) bool {
+	if b.Proc < 1 || int(b.Proc) > len(v.members) || b.Index < 0 {
+		return false
+	}
+	return b.Index <= v.members[b.Proc-1]
+}
+
+// Boundary returns the last node of process p inside the view.
+func (v *View) Boundary(p model.ProcID) (BasicNode, bool) {
+	if p < 1 || int(p) > len(v.members) || v.members[p-1] < 0 {
+		return BasicNode{}, false
+	}
+	return BasicNode{Proc: p, Index: v.members[p-1]}, true
+}
+
+// PastSet converts the view's membership to a PastSet (for callers that
+// verify witnesses against recorded runs).
+func (v *View) PastSet() *PastSet {
+	return &PastSet{origin: v.origin, members: append([]int(nil), v.members...)}
+}
+
+// Size returns the number of nodes in the view.
+func (v *View) Size() int {
+	total := 0
+	for _, k := range v.members {
+		total += k + 1
+	}
+	return total
+}
+
+// DeliveryTo returns the node that received the message sent at from to
+// process to, if that delivery is inside the view.
+func (v *View) DeliveryTo(from BasicNode, to model.ProcID) (BasicNode, bool) {
+	m, ok := v.sent[from]
+	if !ok {
+		return BasicNode{}, false
+	}
+	b, ok := m[to]
+	return b, ok
+}
+
+// Deliveries returns the view's deliveries as (from, to) node pairs in
+// deterministic order.
+func (v *View) Deliveries() []Delivery {
+	var out []Delivery
+	for from, m := range v.sent {
+		for _, to := range m {
+			out = append(out, Delivery{From: from, To: to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From.Proc != b.From.Proc {
+			return a.From.Proc < b.From.Proc
+		}
+		if a.From.Index != b.From.Index {
+			return a.From.Index < b.From.Index
+		}
+		return a.To.Proc < b.To.Proc
+	})
+	return out
+}
+
+// Leaving returns the (sender, destination) pairs of FFIP messages sent at
+// view nodes and not received inside the view — the E” generators of the
+// extended bounds graph. Send times are structural unknowns and left zero.
+func (v *View) Leaving() []Pending {
+	var out []Pending
+	for i, k := range v.members {
+		p := model.ProcID(i + 1)
+		for idx := 1; idx <= k; idx++ {
+			from := BasicNode{Proc: p, Index: idx}
+			for _, q := range v.net.Out(p) {
+				if _, ok := v.DeliveryTo(from, q); !ok {
+					out = append(out, Pending{From: from, To: q})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From.Proc != b.From.Proc {
+			return a.From.Proc < b.From.Proc
+		}
+		if a.From.Index != b.From.Index {
+			return a.From.Index < b.From.Index
+		}
+		return a.To < b.To
+	})
+	return out
+}
+
+// ResolvePrefix resolves theta's chain while it stays inside the view,
+// mirroring (*Run).ChainPrefix: it returns the resolved prefix nodes and
+// hop count.
+func (v *View) ResolvePrefix(theta GeneralNode) (prefix []BasicNode, hops int) {
+	cur := theta.Base
+	if !v.Contains(cur) {
+		return nil, 0
+	}
+	prefix = append(prefix, cur)
+	for _, next := range theta.Path[1:] {
+		if cur.IsInitial() {
+			return prefix, hops
+		}
+		d, ok := v.DeliveryTo(cur, next)
+		if !ok {
+			return prefix, hops
+		}
+		cur = d
+		prefix = append(prefix, cur)
+		hops++
+	}
+	return prefix, hops
+}
+
+// ExternalsAt returns the external labels absorbed at a view node.
+func (v *View) ExternalsAt(b BasicNode) []string {
+	out := append([]string(nil), v.externals[b]...)
+	sort.Strings(out)
+	return out
+}
+
+// FindExternal locates the earliest node of process p that absorbed an
+// external input with the given label, scanning p's timeline inside the
+// view.
+func (v *View) FindExternal(p model.ProcID, label string) (BasicNode, bool) {
+	bnd, ok := v.Boundary(p)
+	if !ok {
+		return BasicNode{}, false
+	}
+	for k := 1; k <= bnd.Index; k++ {
+		n := BasicNode{Proc: p, Index: k}
+		for _, l := range v.externals[n] {
+			if l == label {
+				return n, true
+			}
+		}
+	}
+	return BasicNode{}, false
+}
+
+// Receipt describes one incoming FFIP message for Absorb: the sender's node
+// and the sender's view at that node (the full-information payload).
+type Receipt struct {
+	From    BasicNode
+	Payload *View
+}
+
+// Absorb advances the view by one receive batch: the owning process moves
+// to its next local state, merges every sender's payload view, records the
+// batch's deliveries and external inputs, and returns the new node. It
+// implements the FFIP state transition on the receiving side.
+func (v *View) Absorb(receipts []Receipt, externalLabels []string) (BasicNode, error) {
+	p := v.origin.Proc
+	next := BasicNode{Proc: p, Index: v.members[p-1] + 1}
+	v.members[p-1] = next.Index
+	v.origin = next
+	for _, rc := range receipts {
+		if rc.Payload != nil {
+			if err := v.merge(rc.Payload); err != nil {
+				return BasicNode{}, err
+			}
+		}
+		if !v.Contains(rc.From) {
+			return BasicNode{}, fmt.Errorf("run: receipt from %s not covered by its own payload", rc.From)
+		}
+		v.recordDelivery(rc.From, next)
+	}
+	for _, l := range externalLabels {
+		v.externals[next] = append(v.externals[next], l)
+	}
+	return next, nil
+}
+
+// merge unions another view into this one.
+func (v *View) merge(o *View) error {
+	if len(o.members) != len(v.members) {
+		return fmt.Errorf("run: merging views over different networks")
+	}
+	for i, k := range o.members {
+		if k > v.members[i] {
+			v.members[i] = k
+		}
+	}
+	for from, m := range o.sent {
+		for _, node := range m {
+			v.recordDelivery(from, node)
+		}
+	}
+	for node, labels := range o.externals {
+		have := make(map[string]bool, len(v.externals[node]))
+		for _, l := range v.externals[node] {
+			have[l] = true
+		}
+		for _, l := range labels {
+			if !have[l] {
+				v.externals[node] = append(v.externals[node], l)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, used as the payload of outgoing FFIP messages
+// (the sender's history frozen at send time).
+func (v *View) Clone() *View {
+	c := &View{
+		net:       v.net,
+		origin:    v.origin,
+		members:   append([]int(nil), v.members...),
+		sent:      make(map[BasicNode]map[model.ProcID]BasicNode, len(v.sent)),
+		externals: make(map[BasicNode][]string, len(v.externals)),
+	}
+	for from, m := range v.sent {
+		cm := make(map[model.ProcID]BasicNode, len(m))
+		for to, node := range m {
+			cm[to] = node
+		}
+		c.sent[from] = cm
+	}
+	for node, labels := range v.externals {
+		c.externals[node] = append([]string(nil), labels...)
+	}
+	return c
+}

@@ -1,0 +1,185 @@
+package run
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/clockless/zigzag/internal/model"
+)
+
+func TestViewOfMatchesPast(t *testing.T) {
+	r := chainRun(t)
+	sigma := BasicNode{Proc: 3, Index: 1}
+	v, err := ViewOf(r, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := r.Past(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != ps.Size() {
+		t.Errorf("view size %d, past size %d", v.Size(), ps.Size())
+	}
+	for _, n := range ps.Nodes() {
+		if !v.Contains(n) {
+			t.Errorf("view missing %s", n)
+		}
+	}
+	if !v.PastSet().Equal(ps) {
+		t.Error("PastSet round trip differs")
+	}
+	if v.Origin() != sigma {
+		t.Errorf("origin = %s", v.Origin())
+	}
+}
+
+func TestViewDeliveriesAndLeaving(t *testing.T) {
+	r := chainRun(t)
+	// At node 2#1 the message to 3 has left the past.
+	v, err := ViewOf(r, BasicNode{Proc: 2, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := v.Deliveries()
+	if len(ds) != 1 || ds[0].From.Proc != 1 || ds[0].To.Proc != 2 {
+		t.Errorf("deliveries = %v", ds)
+	}
+	leaving := v.Leaving()
+	if len(leaving) != 1 || leaving[0].From.Proc != 2 || leaving[0].To != 3 {
+		t.Errorf("leaving = %v", leaving)
+	}
+	if to, ok := v.DeliveryTo(BasicNode{Proc: 1, Index: 1}, 2); !ok || to.Proc != 2 {
+		t.Errorf("DeliveryTo = %v, %v", to, ok)
+	}
+	if _, ok := v.DeliveryTo(BasicNode{Proc: 2, Index: 1}, 3); ok {
+		t.Error("escaped delivery visible inside the view")
+	}
+}
+
+func TestViewResolvePrefix(t *testing.T) {
+	r := chainRun(t)
+	v, err := ViewOf(r, BasicNode{Proc: 2, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := Via(BasicNode{Proc: 1, Index: 1}, model.Path{1, 2, 3})
+	prefix, hops := v.ResolvePrefix(theta)
+	if hops != 1 || len(prefix) != 2 {
+		t.Errorf("prefix = %v, hops = %d", prefix, hops)
+	}
+}
+
+func TestViewExternals(t *testing.T) {
+	r := chainRun(t)
+	v, err := ViewOf(r, BasicNode{Proc: 3, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, ok := v.FindExternal(1, "go")
+	if !ok || node != (BasicNode{Proc: 1, Index: 1}) {
+		t.Errorf("FindExternal = %v, %v", node, ok)
+	}
+	if _, ok := v.FindExternal(1, "halt"); ok {
+		t.Error("phantom external found")
+	}
+	if labels := v.ExternalsAt(node); len(labels) != 1 || labels[0] != "go" {
+		t.Errorf("ExternalsAt = %v", labels)
+	}
+}
+
+func TestViewAbsorbMatchesOffline(t *testing.T) {
+	// Manually replay the chain run's receipts on local views and compare
+	// with ViewOf at every step.
+	r := chainRun(t)
+	net := r.Net()
+	v1 := NewLocalView(net, 1)
+	n1, err := v1.Absorb(nil, []string{"go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != (BasicNode{Proc: 1, Index: 1}) {
+		t.Errorf("node = %s", n1)
+	}
+	v2 := NewLocalView(net, 2)
+	if _, err := v2.Absorb([]Receipt{{From: n1, Payload: v1.Clone()}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ViewOf(r, BasicNode{Proc: 2, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.PastSet().Equal(want.PastSet()) {
+		t.Error("accumulated view disagrees with extracted view")
+	}
+	v3 := NewLocalView(net, 3)
+	if _, err := v3.Absorb([]Receipt{{From: BasicNode{Proc: 2, Index: 1}, Payload: v2.Clone()}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	want3, err := ViewOf(r, BasicNode{Proc: 3, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v3.PastSet().Equal(want3.PastSet()) {
+		t.Error("two-hop accumulated view disagrees")
+	}
+}
+
+func TestAbsorbRejectsUncoveredSender(t *testing.T) {
+	net := model.MustComplete(2, 1, 2)
+	v := NewLocalView(net, 2)
+	// A receipt claiming to come from a node its own payload doesn't cover.
+	_, err := v.Absorb([]Receipt{{From: BasicNode{Proc: 1, Index: 5}, Payload: NewLocalView(net, 1)}}, nil)
+	if err == nil {
+		t.Fatal("uncovered sender accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	net := model.MustComplete(2, 1, 2)
+	v := NewLocalView(net, 1)
+	if _, err := v.Absorb(nil, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	c := v.Clone()
+	if _, err := v.Absorb(nil, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(BasicNode{Proc: 1, Index: 2}) {
+		t.Error("clone aliases the original's membership")
+	}
+	if c.Size() != 2 {
+		t.Errorf("clone size = %d, want 2", c.Size())
+	}
+}
+
+// TestPastIsPClosedProperty: past sets computed on random simulated runs are
+// precedence-closed: the sender of every delivery received inside is inside.
+func TestPastIsPClosedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		net := model.MustComplete(4, 1, 3)
+		r, err := buildRandomRun(net, seed)
+		if err != nil {
+			return false
+		}
+		for _, p := range net.Procs() {
+			k := r.LastIndex(p)
+			if k == 0 {
+				continue
+			}
+			ps, err := r.Past(BasicNode{Proc: p, Index: k})
+			if err != nil {
+				return false
+			}
+			for _, d := range r.Deliveries() {
+				if ps.Contains(d.To) && !ps.Contains(d.From) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

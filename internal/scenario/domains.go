@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Trains builds the paper's single-track dispatch motivation as a Late
+// instance: a dispatcher (C) clears train A onto the shared section; the
+// signal box B must switch the points at least x time units AFTER A enters,
+// so the points never move under the train. The dispatcher's clearance
+// floods the interlocking network; B coordinates off the bounds alone —
+// there is no channel from the track section (A) back to the signal box.
+//
+// Roles: DISPATCH (C), TRACK (A), SIGNALBOX (B), RELAY (an intermediate
+// interlocking node whose ordering information makes the zigzag visible).
+func Trains(x int) *Scenario {
+	const (
+		dispatch = model.ProcID(1) // C
+		yard     = model.ProcID(2) // second controller, base of fork 2
+		relay    = model.ProcID(3) // D-like junction
+		track    = model.ProcID(4) // A
+		signal   = model.ProcID(5) // B
+	)
+	net := model.NewBuilder(5).
+		Chan(dispatch, track, 2, 3). // clearance reaches the track fast
+		Chan(dispatch, relay, 6, 8). // paperwork path to the junction
+		Chan(yard, relay, 2, 3).     // yard report to the junction
+		Chan(yard, signal, 7, 9).    // yard report to the signal box
+		Chan(relay, signal, 1, 2).   // junction floods the signal box
+		MustBuild()
+	task := &coord.Task{Kind: coord.Late, X: x, A: track, B: signal, C: dispatch, GoTime: 1}
+	return &Scenario{
+		Name: "trains",
+		Description: "Single-track dispatch: the signal box switches points " +
+			"at least x after the train enters, with no track-to-box channel.",
+		Net: net,
+		Externals: []run.ExternalEvent{
+			{Proc: dispatch, Time: 1, Label: "go"},
+			{Proc: yard, Time: 10, Label: "yard-report"},
+		},
+		Horizon: 64,
+		Roles: map[string]model.ProcID{
+			"DISPATCH": dispatch, "YARD": yard, "RELAY": relay,
+			"TRACK": track, "SIGNALBOX": signal,
+		},
+		Task: task,
+	}
+}
+
+// Takeoff builds the plane-takeoff motivation as an Early instance: tower C
+// clears the heavy jet A for takeoff; the feeder strip B must launch its
+// light aircraft at least x time units BEFORE the heavy rolls, or wake
+// turbulence grounds it. B hears the clearance on a fast teletype channel,
+// A on a slow voice loop — the bound gap alone lets B launch early, which
+// no asynchronous protocol can ever do.
+func Takeoff(x int) *Scenario {
+	const (
+		tower  = model.ProcID(1) // C
+		heavy  = model.ProcID(2) // A
+		feeder = model.ProcID(3) // B
+	)
+	net := model.NewBuilder(3).
+		Chan(tower, heavy, 9, 14). // slow voice confirmation loop
+		Chan(tower, feeder, 1, 3). // fast teletype
+		MustBuild()
+	task := &coord.Task{Kind: coord.Early, X: x, A: heavy, B: feeder, C: tower, GoTime: 1}
+	return &Scenario{
+		Name: "takeoff",
+		Description: "Takeoff spacing: the feeder strip launches at least x " +
+			"before the heavy rolls, exploiting only the bound gap.",
+		Net:       net,
+		Externals: []run.ExternalEvent{{Proc: tower, Time: 1, Label: "go"}},
+		Horizon:   48,
+		Roles:     map[string]model.ProcID{"TOWER": tower, "HEAVY": heavy, "FEEDER": feeder},
+		Task:      task,
+	}
+}
+
+// Circuits builds the self-timed VLSI motivation of Section 6: a request
+// fork in an asynchronous pipeline. The controller (C) raises a request
+// that reaches a datapath latch (A) and, through a chain of two gate stages,
+// an output mux (B). Wire and gate delays are the channel bounds. The mux
+// may switch only after the latch has captured (Late with x = hold time):
+// exactly the fork that self-timed design uses in place of a clock tree.
+func Circuits(holdTime int) *Scenario {
+	const (
+		ctrl   = model.ProcID(1) // C: request source
+		latch  = model.ProcID(2) // A: datapath latch
+		stage1 = model.ProcID(3) // gate stage
+		stage2 = model.ProcID(4) // gate stage
+		mux    = model.ProcID(5) // B: output mux
+	)
+	net := model.NewBuilder(5).
+		Chan(ctrl, latch, 1, 2).    // short wire to the latch enable
+		Chan(ctrl, stage1, 2, 3).   // wire into the logic cone
+		Chan(stage1, stage2, 3, 4). // gate delay
+		Chan(stage2, mux, 3, 4).    // gate delay
+		MustBuild()
+	task := &coord.Task{Kind: coord.Late, X: holdTime, A: latch, B: mux, C: ctrl, GoTime: 1}
+	return &Scenario{
+		Name: "circuits",
+		Description: "Self-timed pipeline: the output mux switches only " +
+			"after the latch hold time, guaranteed by wire/gate delay bounds.",
+		Net:       net,
+		Externals: []run.ExternalEvent{{Proc: ctrl, Time: 1, Label: "go"}},
+		Horizon:   48,
+		Roles: map[string]model.ProcID{
+			"CTRL": ctrl, "LATCH": latch, "STAGE1": stage1, "STAGE2": stage2, "MUX": mux,
+		},
+		Task: task,
+	}
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// TestTrainsLate: the signal box acts with the required hold after the
+// train enters, under every policy, and the witness verifies.
+func TestTrainsLate(t *testing.T) {
+	sc := Trains(3)
+	for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(21)} {
+		r, err := sc.Simulate(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if !out.Acted {
+			t.Fatalf("%s: signal box never switched", pol.Name())
+		}
+		if out.Gap < sc.Task.X {
+			t.Errorf("%s: gap %d < hold %d", pol.Name(), out.Gap, sc.Task.X)
+		}
+		if err := out.Witness.VerifyVisible(r); err != nil {
+			t.Errorf("%s: witness: %v", pol.Name(), err)
+		}
+	}
+}
+
+// TestTakeoffEarly: the feeder launches at least x before the heavy, while
+// the asynchronous baseline cannot launch at all.
+func TestTakeoffEarly(t *testing.T) {
+	sc := Takeoff(4)
+	for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(2)} {
+		r, err := sc.Simulate(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if !out.Acted {
+			t.Fatalf("%s: feeder never launched (L_CA - U_CB = %d >= x = %d)",
+				pol.Name(), 9-3, sc.Task.X)
+		}
+		if -out.Gap < sc.Task.X {
+			t.Errorf("%s: lead %d < x %d", pol.Name(), -out.Gap, sc.Task.X)
+		}
+		base, err := sc.Task.RunBaseline(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Acted {
+			t.Errorf("%s: asynchronous baseline launched early — impossible", pol.Name())
+		}
+	}
+}
+
+// TestTakeoffInfeasible: a lead beyond the bound gap must never be promised.
+func TestTakeoffInfeasible(t *testing.T) {
+	sc := Takeoff(9 - 3 + 1) // one beyond L_CA - U_CB
+	r, err := sc.Simulate(sim.Eager{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.Task.RunOptimal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Acted {
+		t.Fatalf("feeder launched with known bound %d for infeasible x", out.KnownBound)
+	}
+}
+
+// TestCircuitsHold: the mux respects the latch hold time; the guaranteed
+// bound equals L(cone path) - U(latch wire) computed over the fork.
+func TestCircuitsHold(t *testing.T) {
+	// Cone lower bound 2+3+3 = 8; latch wire upper 2; guaranteed gap 6.
+	sc := Circuits(6)
+	for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(5)} {
+		r, err := sc.Simulate(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if !out.Acted {
+			t.Fatalf("%s: mux never switched", pol.Name())
+		}
+		if out.KnownBound != 6 {
+			t.Errorf("%s: known bound %d, want 6", pol.Name(), out.KnownBound)
+		}
+	}
+	// Hold time beyond the cone guarantee must not be promised.
+	sc = Circuits(7)
+	r, err := sc.Simulate(sim.Eager{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.Task.RunOptimal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Acted {
+		t.Errorf("mux switched for hold=7 with only 6 guaranteed")
+	}
+}

@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// Figure1Params parametrize the fork of Figure 1: C sends simultaneously to
+// A and B; if L_CB >= U_CA + x, then B receives C's message at least x time
+// units after A does, so acting on receipt solves Late<a --x--> b> with no
+// communication between A and B at all.
+type Figure1Params struct {
+	LCA, UCA int
+	LCB, UCB int
+	X        int
+	GoTime   model.Time
+}
+
+// DefaultFigure1 is the canonical parametrization: U_CA = 3, L_CB = 8,
+// x = 5, satisfying L_CB >= U_CA + x with equality.
+func DefaultFigure1() Figure1Params {
+	return Figure1Params{LCA: 1, UCA: 3, LCB: 8, UCB: 12, X: 5, GoTime: 1}
+}
+
+// Figure1 builds the two-legged-fork coordination scenario of Figure 1.
+// Processes: C=1, A=2, B=3.
+func Figure1(p Figure1Params) *Scenario {
+	const (
+		c = model.ProcID(1)
+		a = model.ProcID(2)
+		b = model.ProcID(3)
+	)
+	net := model.NewBuilder(3).
+		Chan(c, a, p.LCA, p.UCA).
+		Chan(c, b, p.LCB, p.UCB).
+		MustBuild()
+	task := &coord.Task{Kind: coord.Late, X: p.X, A: a, B: b, C: c, GoTime: p.GoTime}
+	return &Scenario{
+		Name: "figure1",
+		Description: "Two-legged fork: C floods A and B; the bound gap " +
+			"L_CB - U_CA alone coordinates a before b (Figure 1).",
+		Net:       net,
+		Externals: sim.GoAt(c, p.GoTime, "go"),
+		Horizon:   p.GoTime + model.Time(p.UCB+p.UCA) + 8,
+		Roles:     map[string]model.ProcID{"C": c, "A": a, "B": b},
+		Task:      task,
+	}
+}
+
+// Figure2Params parametrize the zigzag of Figures 2a/2b: C sends to A and
+// D; E sends to D and B; D receives C's message before E's. Equation (1):
+// -U_CA + L_CD - U_ED + L_EB >= x guarantees a --x--> b (strictly, the
+// non-joined forks buy one extra unit).
+type Figure2Params struct {
+	LCA, UCA int
+	LCD, UCD int
+	LED, UED int
+	LEB, UEB int
+	// Relay bounds for the D -> B channel of Figure 2b.
+	LDB, UDB int
+	X        int
+	// CTime and ETime schedule the spontaneous inputs that make C and E
+	// send. They must be chosen so that D hears C strictly before E under
+	// the scenario policy.
+	CTime, ETime model.Time
+}
+
+// DefaultFigure2 is parametrized so that the E-zigzag is the only pattern
+// strong enough for x: Equation (1) gives -U_CA + L_CD - U_ED + L_EB =
+// -2 + 5 - 2 + 4 = 5, and the zigzag's non-joined forks buy one more unit,
+// reaching x = 6; the simple relay fork C->D->B only certifies
+// L_CD + L_DB - U_CA = 4 < x. The trigger times guarantee that D hears C
+// strictly before E under every delivery policy (earliest E arrival 8 >
+// latest C arrival 7).
+func DefaultFigure2() Figure2Params {
+	return Figure2Params{
+		LCA: 1, UCA: 2,
+		LCD: 5, UCD: 6,
+		LED: 2, UED: 2,
+		LEB: 4, UEB: 8,
+		LDB: 1, UDB: 3,
+		X:     6,
+		CTime: 1, ETime: 6,
+	}
+}
+
+// EquationOne returns the left-hand side of Equation (1),
+// -U_CA + L_CD - U_ED + L_EB.
+func (p Figure2Params) EquationOne() int {
+	return -p.UCA + p.LCD - p.UED + p.LEB
+}
+
+func figure2(p Figure2Params, relay bool, name, desc string) *Scenario {
+	const (
+		c = model.ProcID(1)
+		e = model.ProcID(2)
+		d = model.ProcID(3)
+		a = model.ProcID(4)
+		b = model.ProcID(5)
+	)
+	nb := model.NewBuilder(5).
+		Chan(c, a, p.LCA, p.UCA).
+		Chan(c, d, p.LCD, p.UCD).
+		Chan(e, d, p.LED, p.UED).
+		Chan(e, b, p.LEB, p.UEB)
+	if relay {
+		nb.Chan(d, b, p.LDB, p.UDB)
+	}
+	net := nb.MustBuild()
+	task := &coord.Task{Kind: coord.Late, X: p.X, A: a, B: b, C: c, GoTime: p.CTime}
+	horizon := p.ETime + model.Time(p.UED+p.UEB+p.UDB+p.UCD) + 16
+	return &Scenario{
+		Name:        name,
+		Description: desc,
+		Net:         net,
+		Externals: []run.ExternalEvent{
+			{Proc: c, Time: p.CTime, Label: "go"},
+			{Proc: e, Time: p.ETime, Label: "tick"},
+		},
+		Horizon: horizon,
+		Roles:   map[string]model.ProcID{"C": c, "E": e, "D": d, "A": a, "B": b},
+		Task:    task,
+	}
+}
+
+// Figure2a builds the zigzag happened-before pattern of Figure 2a (no
+// relay channel; the zigzag exists but B cannot see it).
+func Figure2a(p Figure2Params) *Scenario {
+	return figure2(p, false,
+		"figure2a",
+		"Zigzag pattern (Figure 2a): C->{A,D}, E->{D,B}, with D hearing C "+
+			"before E; Equation (1) bounds b after a with no chain from A to B.")
+}
+
+// Figure2b builds the visible-zigzag coordination scenario of Figure 2b:
+// the added D -> B channel floods D's state to B, making the zigzag
+// sigma-visible so that Protocol 2 lets B act.
+func Figure2b(p Figure2Params) *Scenario {
+	return figure2(p, true,
+		"figure2b",
+		"Visible zigzag (Figure 2b): as 2a plus a D->B channel; B learns "+
+			"that D heard C before E and may act on Late<a --x--> b>.")
+}
+
+// Figure3Params parametrize a two-legged fork with multi-hop legs
+// (Figure 3): the base O reaches the head via h relay processes and the
+// tail via t relay processes.
+type Figure3Params struct {
+	HeadHops int // processes on the head leg (>= 1)
+	TailHops int // processes on the tail leg (>= 1)
+	L, U     int // uniform bounds
+	GoTime   model.Time
+}
+
+// DefaultFigure3 uses two-hop legs with bounds [2, 5].
+func DefaultFigure3() Figure3Params {
+	return Figure3Params{HeadHops: 2, TailHops: 2, L: 2, U: 5, GoTime: 1}
+}
+
+// Figure3 builds a long-legged fork: process 1 is the base; processes
+// 2..1+h the head chain; the rest the tail chain.
+func Figure3(p Figure3Params) *Scenario {
+	n := 1 + p.HeadHops + p.TailHops
+	base := model.ProcID(1)
+	nb := model.NewBuilder(n)
+	prev := base
+	for i := 0; i < p.HeadHops; i++ {
+		next := model.ProcID(2 + i)
+		nb.Chan(prev, next, p.L, p.U)
+		prev = next
+	}
+	head := prev
+	prev = base
+	for i := 0; i < p.TailHops; i++ {
+		next := model.ProcID(2 + p.HeadHops + i)
+		nb.Chan(prev, next, p.L, p.U)
+		prev = next
+	}
+	tail := prev
+	return &Scenario{
+		Name: "figure3",
+		Description: "Two-legged fork with multi-hop legs (Figure 3): " +
+			"wt(F) = L(head leg) - U(tail leg).",
+		Net:       nb.MustBuild(),
+		Externals: sim.GoAt(base, p.GoTime, "go"),
+		Horizon:   p.GoTime + model.Time((p.HeadHops+p.TailHops)*p.U) + 8,
+		Roles:     map[string]model.ProcID{"O": base, "HEAD": head, "TAIL": tail},
+	}
+}
+
+// Figure4Params parametrize the three-fork sigma-visible zigzag of
+// Figures 4 and 5. Roles: C (go sender, base of fork 1), E2 and E3 (bases
+// of forks 2 and 3), M1 and M2 (the junction timelines), A (head of theta1's
+// leg), B (sigma's process). Head legs carry [HeadL, HeadU]; tail legs
+// [TailL, TailU]; the visibility chains M1->B, M2->B carry [LVis, UVis].
+type Figure4Params struct {
+	HeadL, HeadU int
+	TailL, TailU int
+	LVis, UVis   int
+	X            int
+	CTime        model.Time
+	E2Time       model.Time
+	E3Time       model.Time
+}
+
+// DefaultFigure4 makes every fork contribute positive weight
+// (HeadL - TailU = 4), so the full three-fork zigzag certifies
+// 3*4 + 2 = 14, which x is set to — weaker sub-patterns cannot reach it.
+// The triggers are spaced so each junction hears the earlier fork first
+// under every policy (gaps exceed the relevant upper bounds).
+func DefaultFigure4() Figure4Params {
+	return Figure4Params{
+		HeadL: 6, HeadU: 8,
+		TailL: 1, TailU: 2,
+		LVis: 1, UVis: 3,
+		X:     14,
+		CTime: 1, E2Time: 9, E3Time: 17,
+	}
+}
+
+// ThreeForkWeight returns the weight of the canonical three-fork pattern:
+// 3 * (HeadL - TailU) + 2 non-joined junctions.
+func (p Figure4Params) ThreeForkWeight() int { return 3*(p.HeadL-p.TailU) + 2 }
+
+// Figure4 builds the three-fork visible zigzag of Figures 4/5.
+// Processes: C=1, E2=2, E3=3, M1=4, M2=5, A=6, B=7.
+func Figure4(p Figure4Params) *Scenario {
+	const (
+		c  = model.ProcID(1)
+		e2 = model.ProcID(2)
+		e3 = model.ProcID(3)
+		m1 = model.ProcID(4)
+		m2 = model.ProcID(5)
+		a  = model.ProcID(6)
+		b  = model.ProcID(7)
+	)
+	net := model.NewBuilder(7).
+		Chan(c, a, p.TailL, p.TailU).
+		Chan(c, m1, p.HeadL, p.HeadU).
+		Chan(e2, m1, p.TailL, p.TailU).
+		Chan(e2, m2, p.HeadL, p.HeadU).
+		Chan(e3, m2, p.TailL, p.TailU).
+		Chan(e3, b, p.HeadL, p.HeadU).
+		Chan(m1, b, p.LVis, p.UVis).
+		Chan(m2, b, p.LVis, p.UVis).
+		MustBuild()
+	task := &coord.Task{Kind: coord.Late, X: p.X, A: a, B: b, C: c, GoTime: p.CTime}
+	return &Scenario{
+		Name: "figure4",
+		Description: "Three-fork sigma-visible zigzag (Figures 4/5): " +
+			"junction orderings at M1 and M2 relayed to B make the full " +
+			"pattern visible.",
+		Net: net,
+		Externals: []run.ExternalEvent{
+			{Proc: c, Time: p.CTime, Label: "go"},
+			{Proc: e2, Time: p.E2Time, Label: "tick2"},
+			{Proc: e3, Time: p.E3Time, Label: "tick3"},
+		},
+		Horizon: p.E3Time + model.Time(4*p.HeadU+2*p.UVis) + 16,
+		Roles: map[string]model.ProcID{
+			"C": c, "E2": e2, "E3": e3, "M1": m1, "M2": m2, "A": a, "B": b,
+		},
+		Task: task,
+	}
+}
+
+// Figure6 builds the minimal two-process, one-message scenario whose basic
+// bounds graph exhibits exactly the edge pair of Figure 6.
+func Figure6(l, u int) *Scenario {
+	net := model.NewBuilder(2).Chan(1, 2, l, u).MustBuild()
+	return &Scenario{
+		Name:        "figure6",
+		Description: "One delivery: GB gains a forward edge of weight L and a backward edge of weight -U (Figure 6).",
+		Net:         net,
+		Externals:   sim.GoAt(1, 1, "go"),
+		Horizon:     model.Time(u) + 4,
+		Roles:       map[string]model.ProcID{"I": 1, "J": 2},
+	}
+}

@@ -1,0 +1,335 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/pattern"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// TestFigure1ForkCoordination checks the paper's opening example: with
+// L_CB >= U_CA + x, B acting upon receipt of C's message satisfies
+// Late<a --x--> b> under every delivery policy, with no A<->B channel.
+func TestFigure1ForkCoordination(t *testing.T) {
+	p := DefaultFigure1()
+	sc := Figure1(p)
+	policies := []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(7), sim.NewRandom(99)}
+	for _, pol := range policies {
+		r, err := sc.Simulate(pol)
+		if err != nil {
+			t.Fatalf("%s: simulate: %v", pol.Name(), err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("%s: validate: %v", pol.Name(), err)
+		}
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil {
+			t.Fatalf("%s: protocol: %v", pol.Name(), err)
+		}
+		if !out.Acted {
+			t.Fatalf("%s: B never acted although L_CB - U_CA = %d >= x = %d",
+				pol.Name(), p.LCB-p.UCA, p.X)
+		}
+		if out.Gap < p.X {
+			t.Errorf("%s: gap %d < x %d", pol.Name(), out.Gap, p.X)
+		}
+		if out.KnownBound != p.LCB-p.UCA {
+			t.Errorf("%s: known bound %d, want L_CB - U_CA = %d",
+				pol.Name(), out.KnownBound, p.LCB-p.UCA)
+		}
+		if err := out.Witness.VerifyVisible(r); err != nil {
+			t.Errorf("%s: witness: %v", pol.Name(), err)
+		}
+	}
+}
+
+// TestFigure1Unsatisfiable checks that when L_CB < U_CA + x, the optimal
+// protocol refuses to act on receipt of C's message — there is nothing else
+// to know in this network.
+func TestFigure1Unsatisfiable(t *testing.T) {
+	p := DefaultFigure1()
+	p.X = p.LCB - p.UCA + 1 // just out of reach
+	sc := Figure1(p)
+	r, err := sc.Simulate(sim.Lazy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.Task.RunOptimal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Acted {
+		t.Fatalf("B acted with known bound %d although no protocol can guarantee x=%d",
+			out.KnownBound, p.X)
+	}
+}
+
+// TestFigure2aEquationOne traces the zigzag of Figure 2a and checks that
+// the longest GB path from the a-node to the b-node carries exactly the
+// Equation (1) weight plus the one-unit non-joined bonus, and that Lemma 5
+// extraction yields a verifying zigzag of that weight.
+func TestFigure2aEquationOne(t *testing.T) {
+	p := DefaultFigure2()
+	sc := Figure2a(p)
+	r, err := sc.Simulate(sim.Eager{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.Task.Wire(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b's node: B's receipt of E's direct message.
+	bNode := run.BasicNode{Proc: sc.Proc("B"), Index: 1}
+	if !r.Appears(bNode) {
+		t.Fatal("B never received E's message")
+	}
+	gb := bounds.NewBasic(r)
+	z, weight, found, err := pattern.ExtractBasic(gb, w.ABasic, bNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("no GB path from a to b: zigzag missing")
+	}
+	want := p.EquationOne() + 1 // the non-joined forks at D buy one unit
+	if weight < want {
+		t.Errorf("zigzag weight %d < Equation(1)+1 = %d", weight, want)
+	}
+	if err := z.Verify(r); err != nil {
+		t.Errorf("extracted zigzag: %v", err)
+	}
+	if err := z.VerifyEndpoints(r, run.At(w.ABasic), run.At(bNode)); err != nil {
+		t.Errorf("endpoints: %v", err)
+	}
+	// The precedence must hold numerically in every policy's run.
+	for _, pol := range []sim.Policy{sim.Lazy{}, sim.NewRandom(3)} {
+		r2, err := sc.Simulate(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := sc.Task.Wire(r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2 := run.BasicNode{Proc: sc.Proc("B"), Index: 1}
+		ta := r2.MustTime(w2.ABasic)
+		tb := r2.MustTime(b2)
+		if tb-ta < want {
+			t.Errorf("%s: realized gap %d < guaranteed %d", pol.Name(), tb-ta, want)
+		}
+	}
+}
+
+// TestFigure2aInvisible: without the D->B relay, B must not act — the
+// zigzag exists but is not sigma-visible at any of B's states.
+func TestFigure2aInvisible(t *testing.T) {
+	p := DefaultFigure2()
+	sc := Figure2a(p)
+	r, err := sc.Simulate(sim.Eager{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.Task.RunOptimal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Acted {
+		t.Fatalf("B acted at %s (known bound %d) although the zigzag is invisible",
+			out.ActNode, out.KnownBound)
+	}
+}
+
+// TestFigure2bVisibleCoordination: with the D->B relay, Protocol 2 acts,
+// knows at least the Equation (1)+1 bound, and its witness is a verifying
+// sigma-visible zigzag.
+func TestFigure2bVisibleCoordination(t *testing.T) {
+	p := DefaultFigure2()
+	sc := Figure2b(p)
+	for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(11)} {
+		r, err := sc.Simulate(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if !out.Acted {
+			t.Fatalf("%s: B never acted despite visible zigzag (Eq1+1 = %d >= x = %d)",
+				pol.Name(), p.EquationOne()+1, p.X)
+		}
+		if out.Gap < p.X {
+			t.Errorf("%s: realized gap %d < x %d", pol.Name(), out.Gap, p.X)
+		}
+		if out.KnownBound < p.X {
+			t.Errorf("%s: known bound %d < x = %d", pol.Name(), out.KnownBound, p.X)
+		}
+		// The relay fork alone certifies only L_CD + L_DB - U_CA < x, so
+		// the action must rest on a genuine multi-fork zigzag.
+		if got := out.Witness.Len(); got < 2 {
+			t.Errorf("%s: witness has %d forks, want >= 2", pol.Name(), got)
+		}
+		if err := out.Witness.VerifyVisible(r); err != nil {
+			t.Errorf("%s: witness: %v", pol.Name(), err)
+		}
+		// The baseline needs a message chain from a to B; there is none
+		// (no channel out of A), so it can never act.
+		base, err := sc.Task.RunBaseline(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Acted {
+			t.Errorf("%s: baseline acted without any A->B chain", pol.Name())
+		}
+	}
+}
+
+// TestFigure2bHorizonReasoning forces the paper's subtlest inference: the
+// adversary delays D's second flood so that B receives E's direct message
+// while D's receipt of E is still beyond B's horizon. B must act anyway:
+// the auxiliary vertex psi_D certifies that wherever E's message lands on
+// D's timeline, it lands after the boundary node — so the zigzag order
+// holds in every indistinguishable run (the E” edge of Definition 16).
+func TestFigure2bHorizonReasoning(t *testing.T) {
+	p := DefaultFigure2()
+	sc := Figure2b(p)
+	d := sc.Proc("D")
+	b := sc.Proc("B")
+	adversary := sim.Func{
+		ID: "delay-d2-relay",
+		F: func(s sim.Send, bd model.Bounds) int {
+			if s.From == d && s.To == b && s.SendTime >= 8 {
+				return bd.Upper // hold back the flood that would reveal d2
+			}
+			return bd.Lower
+		},
+	}
+	r, err := sc.Simulate(adversary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.Task.RunOptimal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Acted {
+		t.Fatal("B never acted despite the psi_D inference being available")
+	}
+	// Eager elsewhere: E's direct message reaches B at time 10, before the
+	// delayed d2 flood at 11; B must decide at 10 via the horizon argument.
+	if out.ActTime != 10 {
+		t.Errorf("B acted at %d, want 10 (on E's direct message)", out.ActTime)
+	}
+	if out.KnownBound < p.X {
+		t.Errorf("known bound %d < x %d", out.KnownBound, p.X)
+	}
+	if err := out.Witness.VerifyVisible(r); err != nil {
+		t.Errorf("witness: %v", err)
+	}
+}
+
+// TestFigure4ThreeForkZigzag drives the Figures 4/5 scenario: Protocol 2
+// must act using the full three-fork zigzag: x is set to exactly its
+// weight, so no weaker sub-pattern suffices, and all junction orderings are
+// relayed to B.
+func TestFigure4ThreeForkZigzag(t *testing.T) {
+	p := DefaultFigure4()
+	sc := Figure4(p)
+	for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(13)} {
+		r, err := sc.Simulate(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Acted {
+			t.Fatalf("%s: B never acted in the three-fork scenario", pol.Name())
+		}
+		if err := out.Witness.VerifyVisible(r); err != nil {
+			t.Errorf("%s: witness: %v", pol.Name(), err)
+		}
+		if got := out.Witness.Len(); got != 3 {
+			t.Errorf("%s: witness has %d forks, want the full three-fork pattern", pol.Name(), got)
+		}
+		if out.KnownBound != p.ThreeForkWeight() {
+			t.Errorf("%s: known bound %d, want 3*(HeadL-TailU)+2 = %d",
+				pol.Name(), out.KnownBound, p.ThreeForkWeight())
+		}
+	}
+}
+
+// TestFigure6BoundEdges checks the minimal GB shape of Figure 6.
+func TestFigure6BoundEdges(t *testing.T) {
+	sc := Figure6(2, 5)
+	r, err := sc.Simulate(sim.Eager{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := bounds.NewBasic(r)
+	send := run.BasicNode{Proc: 1, Index: 1}
+	recv := run.BasicNode{Proc: 2, Index: 1}
+	w, _, ok, err := gb.LongestBetween(send, recv)
+	if err != nil || !ok {
+		t.Fatalf("forward bound: ok=%v err=%v", ok, err)
+	}
+	if w != 2 {
+		t.Errorf("forward bound %d, want L=2", w)
+	}
+	w, _, ok, err = gb.LongestBetween(recv, send)
+	if err != nil || !ok {
+		t.Fatalf("backward bound: ok=%v err=%v", ok, err)
+	}
+	if w != -5 {
+		t.Errorf("backward bound %d, want -U=-5", w)
+	}
+}
+
+// TestCoordinationAcrossTaskKinds exercises Early on Figure 1 with the
+// roles of A and B swapped in the bound sense: B (the far process) cannot
+// act early, but A-side early action is achievable by making B the
+// recipient of the short channel.
+func TestEarlyCoordination(t *testing.T) {
+	// Early<b --x--> a>: B must act at least x before a. Flip the channel
+	// bounds: B gets the fast channel, A the slow one.
+	p := Figure1Params{LCA: 8, UCA: 12, LCB: 1, UCB: 3, X: 5, GoTime: 1}
+	sc := Figure1(p)
+	sc.Task.Kind = coord.Early
+	for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(5)} {
+		r, err := sc.Simulate(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sc.Task.RunOptimal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Acted {
+			t.Fatalf("%s: B never acted although L_CA - U_CB = %d >= x = %d",
+				pol.Name(), p.LCA-p.UCB, p.X)
+		}
+		if -out.Gap < p.X {
+			t.Errorf("%s: lead %d < x %d", pol.Name(), -out.Gap, p.X)
+		}
+		// The asynchronous baseline can never solve Early.
+		base, err := sc.Task.RunBaseline(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Acted {
+			t.Errorf("%s: baseline solved Early", pol.Name())
+		}
+	}
+}

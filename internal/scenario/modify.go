@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/model"
+)
+
+// WithChannel returns a copy of the scenario whose network has one
+// additional channel between two roles. It is used by experiments that
+// contrast topologies (e.g. giving the asynchronous baseline a feedback
+// chain to wait for).
+func (s *Scenario) WithChannel(fromRole, toRole string, lower, upper int) (*Scenario, error) {
+	from, ok := s.Roles[fromRole]
+	if !ok {
+		return nil, fmt.Errorf("scenario %s: unknown role %q", s.Name, fromRole)
+	}
+	to, ok := s.Roles[toRole]
+	if !ok {
+		return nil, fmt.Errorf("scenario %s: unknown role %q", s.Name, toRole)
+	}
+	if s.Net.HasChan(from, to) {
+		return nil, fmt.Errorf("scenario %s: channel %s->%s already exists", s.Name, fromRole, toRole)
+	}
+	nb := model.NewBuilder(s.Net.N())
+	for _, ch := range s.Net.Channels() {
+		bd, err := s.Net.ChanBounds(ch.From, ch.To)
+		if err != nil {
+			return nil, err
+		}
+		nb.Chan(ch.From, ch.To, bd.Lower, bd.Upper)
+	}
+	nb.Chan(from, to, lower, upper)
+	net, err := nb.Build()
+	if err != nil {
+		return nil, err
+	}
+	out := *s
+	out.Net = net
+	out.Name = s.Name + "+" + fromRole + ">" + toRole
+	return &out, nil
+}

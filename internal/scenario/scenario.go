@@ -1,0 +1,63 @@
+// Package scenario encodes the paper's figures and motivating examples as
+// concrete, runnable bcm instances: a network with bounds, a schedule of
+// spontaneous external inputs, named process roles and (where applicable) a
+// coordination task. The experiment harness (cmd/zigzag-experiments and the
+// repository benchmarks) regenerates each figure from these.
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// Scenario is one self-contained bcm instance.
+type Scenario struct {
+	Name        string
+	Description string
+	Net         *model.Network
+	Externals   []run.ExternalEvent
+	Horizon     model.Time
+	// Roles maps role names ("A", "B", "C", ...) to process ids.
+	Roles map[string]model.ProcID
+	// Task is the coordination task the scenario poses, if any.
+	Task *coord.Task
+	// DefaultPolicy drives the canonical run of the figure; nil means Eager.
+	DefaultPolicy sim.Policy
+}
+
+// Proc returns the process playing a role; it panics on unknown roles
+// (scenario definitions are static fixtures).
+func (s *Scenario) Proc(role string) model.ProcID {
+	p, ok := s.Roles[role]
+	if !ok {
+		panic(fmt.Sprintf("scenario %s: unknown role %q", s.Name, role))
+	}
+	return p
+}
+
+// Simulate produces a run of the scenario under the given policy (nil means
+// the scenario's default).
+func (s *Scenario) Simulate(policy sim.Policy) (*run.Run, error) {
+	if policy == nil {
+		policy = s.DefaultPolicy
+	}
+	return sim.Simulate(sim.Config{
+		Net:       s.Net,
+		Horizon:   s.Horizon,
+		Policy:    policy,
+		Externals: s.Externals,
+	})
+}
+
+// MustSimulate is Simulate that panics on error.
+func (s *Scenario) MustSimulate(policy sim.Policy) *run.Run {
+	r, err := s.Simulate(policy)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

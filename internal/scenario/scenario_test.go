@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+func TestWithChannel(t *testing.T) {
+	sc := Figure2b(DefaultFigure2())
+	mod, err := sc.WithChannel("A", "B", 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mod.Net.HasChan(sc.Proc("A"), sc.Proc("B")) {
+		t.Fatal("added channel missing")
+	}
+	if mod.Net.NumChannels() != sc.Net.NumChannels()+1 {
+		t.Errorf("channels %d, want %d", mod.Net.NumChannels(), sc.Net.NumChannels()+1)
+	}
+	// The original is untouched.
+	if sc.Net.HasChan(sc.Proc("A"), sc.Proc("B")) {
+		t.Error("original scenario mutated")
+	}
+	// Duplicates and unknown roles are rejected.
+	if _, err := mod.WithChannel("A", "B", 1, 6); err == nil {
+		t.Error("duplicate channel accepted")
+	}
+	if _, err := sc.WithChannel("NOPE", "B", 1, 6); err == nil {
+		t.Error("unknown role accepted")
+	}
+	// The modified scenario still simulates and solves its task.
+	r, err := mod.Simulate(sim.Lazy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.Task.RunOptimal(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcPanicsOnUnknownRole(t *testing.T) {
+	sc := Figure1(DefaultFigure1())
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown role")
+		}
+	}()
+	sc.Proc("NOPE")
+}
+
+func TestSimulateDefaultPolicy(t *testing.T) {
+	sc := Figure1(DefaultFigure1())
+	r, err := sc.Simulate(nil) // nil selects the scenario default (Eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := sc.MustSimulate(nil)
+	if r2.NumNodes() != r.NumNodes() {
+		t.Error("MustSimulate differs from Simulate")
+	}
+}
+
+func TestAllScenariosSimulateAndValidate(t *testing.T) {
+	all := []*Scenario{
+		Figure1(DefaultFigure1()),
+		Figure2a(DefaultFigure2()),
+		Figure2b(DefaultFigure2()),
+		Figure3(DefaultFigure3()),
+		Figure4(DefaultFigure4()),
+		Figure6(2, 5),
+		Trains(3),
+		Takeoff(4),
+		Circuits(6),
+	}
+	for _, sc := range all {
+		for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(1)} {
+			r, err := sc.Simulate(pol)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sc.Name, pol.Name(), err)
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", sc.Name, pol.Name(), err)
+			}
+		}
+	}
+}

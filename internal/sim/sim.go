@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Config parametrizes one simulation.
+type Config struct {
+	// Net is the time-bounded network (required).
+	Net *model.Network
+	// Horizon is the last simulated time step (required, >= 1).
+	Horizon model.Time
+	// Policy chooses delivery instants; defaults to Eager if nil.
+	Policy Policy
+	// Externals is the schedule of spontaneous external inputs. Each is
+	// delivered to its process at its time (time >= 1).
+	Externals []run.ExternalEvent
+}
+
+// ErrBadConfig reports an unusable simulation configuration.
+var ErrBadConfig = errors.New("sim: bad configuration")
+
+// Simulate executes the FFIP over cfg.Net up to cfg.Horizon and returns the
+// recorded run. The dynamics follow Section 2.1 of the paper:
+//
+//   - processes are event-driven: a process moves only when it receives at
+//     least one message (external or internal) and then, being an FFIP,
+//     immediately sends its full history on every outgoing channel;
+//   - the environment delivers each message within its channel's [L, U]
+//     window, at the instant chosen by the Policy;
+//   - initial nodes never act, so with no externals nothing ever happens.
+//
+// The returned run always passes (*run.Run).Validate.
+func Simulate(cfg Config) (*run.Run, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadConfig)
+	}
+	if cfg.Horizon < 1 {
+		return nil, fmt.Errorf("%w: horizon %d < 1", ErrBadConfig, cfg.Horizon)
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = Eager{}
+	}
+
+	// arrivals[t] lists internal messages scheduled to arrive at time t.
+	type arrival struct {
+		s Send
+	}
+	arrivals := make(map[model.Time][]arrival)
+	extAt := make(map[model.Time][]run.ExternalEvent)
+	for _, ev := range cfg.Externals {
+		if !cfg.Net.ValidProc(ev.Proc) {
+			return nil, fmt.Errorf("%w: external %q to process %d", ErrBadConfig, ev.Label, ev.Proc)
+		}
+		if ev.Time < 1 || ev.Time > cfg.Horizon {
+			return nil, fmt.Errorf("%w: external %q at time %d outside [1,%d]",
+				ErrBadConfig, ev.Label, ev.Time, cfg.Horizon)
+		}
+		extAt[ev.Time] = append(extAt[ev.Time], ev)
+	}
+
+	bl := run.NewBuilder(cfg.Net, cfg.Horizon)
+
+	// send floods the history of process p at time t on all outgoing
+	// channels, scheduling each delivery per the policy.
+	send := func(p model.ProcID, t model.Time) error {
+		for _, q := range cfg.Net.Out(p) {
+			bd, _ := cfg.Net.ChanBounds(p, q)
+			s := Send{From: p, To: q, SendTime: t}
+			lat := policy.Latency(s, bd)
+			if err := validateLatency(policy, s, bd, lat); err != nil {
+				return err
+			}
+			rt := t + lat
+			if rt > cfg.Horizon {
+				continue // in transit at the horizon; recorded as pending
+			}
+			arrivals[rt] = append(arrivals[rt], arrival{s: s})
+		}
+		return nil
+	}
+
+	for t := model.Time(1); t <= cfg.Horizon; t++ {
+		received := make(map[model.ProcID]bool)
+		for _, a := range arrivals[t] {
+			bl.Message(run.MessageEvent{
+				FromProc: a.s.From,
+				ToProc:   a.s.To,
+				SendTime: a.s.SendTime,
+				RecvTime: t,
+			})
+			received[a.s.To] = true
+		}
+		delete(arrivals, t)
+		for _, ev := range extAt[t] {
+			bl.External(ev)
+			received[ev.Proc] = true
+		}
+		// Every process that received something transitions to a new node
+		// and floods. Iterate in process order for determinism.
+		for _, p := range cfg.Net.Procs() {
+			if received[p] {
+				if err := send(p, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return bl.Build()
+}
+
+// MustSimulate is Simulate that panics on error; intended for fixtures.
+func MustSimulate(cfg Config) *run.Run {
+	r, err := Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// GoAt returns an external schedule consisting of a single input labelled
+// label delivered to proc at time t. It is the common trigger in the
+// coordination scenarios: the spontaneous mu_go message of Definition 1.
+func GoAt(proc model.ProcID, t model.Time, label string) []run.ExternalEvent {
+	return []run.ExternalEvent{{Proc: proc, Time: t, Label: label}}
+}

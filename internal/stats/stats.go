@@ -1,0 +1,124 @@
+// Package stats provides the small summary-statistics helpers used by the
+// experiment harness to report sweep results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, Stddev  float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary; it returns a zero value for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = percentile(sorted, 0.50)
+	s.P90 = percentile(sorted, 0.90)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SummarizeInts is Summarize over integer samples.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1f p50=%.1f mean=%.2f p90=%.1f max=%.1f sd=%.2f",
+		s.N, s.Min, s.P50, s.Mean, s.P90, s.Max, s.Stddev)
+}
+
+// Counter tallies labelled outcomes.
+type Counter struct {
+	counts map[string]int
+	order  []string
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int)} }
+
+// Add increments a label.
+func (c *Counter) Add(label string) {
+	if _, ok := c.counts[label]; !ok {
+		c.order = append(c.order, label)
+	}
+	c.counts[label]++
+}
+
+// Get returns a label's count.
+func (c *Counter) Get(label string) int { return c.counts[label] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int {
+	t := 0
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// String renders counts in first-seen order.
+func (c *Counter) String() string {
+	parts := make([]string, 0, len(c.order))
+	for _, l := range c.order {
+		parts = append(parts, fmt.Sprintf("%s=%d", l, c.counts[l]))
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += " " + p
+	}
+	return out
+}

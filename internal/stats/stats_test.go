@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %f", s.P50)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("stddev = %f", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.P50 != 7 || s.Stddev != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4})
+	if s.Mean != 3 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+// TestPercentileInvariants: min <= p50 <= p90 <= p99 <= max, and all
+// percentiles lie within the sample's range.
+func TestPercentileInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	if c.String() != "(empty)" {
+		t.Errorf("empty = %q", c.String())
+	}
+	c.Add("pass")
+	c.Add("pass")
+	c.Add("fail")
+	if c.Get("pass") != 2 || c.Get("fail") != 1 || c.Get("other") != 0 {
+		t.Error("counts wrong")
+	}
+	if c.Total() != 3 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if got := c.String(); got != "pass=2 fail=1" {
+		t.Errorf("render = %q", got)
+	}
+}

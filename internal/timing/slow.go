@@ -1,0 +1,167 @@
+// Package timing implements the paper's run-synthesis machinery: valid
+// timing functions over bounds graphs (Definitions 9-10), the slow timing
+// and run-by-timing construction r[T] of Definition 13 / Lemma 8 (the
+// tightness half of Theorem 2), and the fast timing and fast run of
+// Definitions 23-24 (the tightness half of Theorem 4).
+//
+// Both constructions take a recorded run, retime a precedence-closed portion
+// of it, and emit a new run that (a) validates as a legal execution and
+// (b) realizes the extremal time gap that the corresponding bounds graph
+// promises. They are the executable counterexamples of the paper's
+// necessity proofs: no protocol can guarantee a bound tighter than the
+// graph's longest path, because these runs achieve it with equality.
+package timing
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Construction errors.
+var (
+	ErrNoPath       = errors.New("timing: node has no path to the target in the bounds graph")
+	ErrNotKept      = errors.New("timing: node falls beyond the synthesized horizon")
+	ErrInvalidRun   = errors.New("timing: synthesized run failed validation")
+	ErrInitialTheta = errors.New("timing: construction requires a non-initial node")
+)
+
+// Slow is the slow run r[T] of Lemma 8 built from the slow timing of
+// Definition 13: every node that can causally constrain the target is
+// delayed as much as the bounds graph permits, so that the target occurs
+// exactly at its longest-path distance after each of them. It certifies
+// that longest-path bounds in GB(r) are tight (Theorem 2).
+type Slow struct {
+	// Run is the synthesized run. Node identities (process, index) of kept
+	// nodes coincide with those of the source run.
+	Run *run.Run
+	// Target is sigma2, the node everything is timed against.
+	Target run.BasicNode
+	// D is the weight of the longest path in GB(r) ending at the target;
+	// the target occurs at time D in the slow run.
+	D int
+	// Source is the run the construction started from.
+	Source *run.Run
+
+	dist []int64 // longest-path weight into the target, per GB vertex
+	b    *bounds.Basic
+}
+
+// BuildSlow constructs the slow run for target sigma2 over GB(r).
+//
+// The synthesized horizon is D + extra: kept nodes are those with a path to
+// the target in GB(r) whose slow time D - d lands within the horizon. A
+// positive extra retains nodes that occur after the target (negative d),
+// which Theorem 2 queries with negative bounds need. extra must stay well
+// below the source run's recording slack (see DESIGN.md §4); the
+// construction fails with ErrInvalidRun if truncation artefacts would make
+// the synthesized run illegal, rather than ever emitting a bogus run.
+func BuildSlow(b *bounds.Basic, sigma2 run.BasicNode, extra model.Time) (*Slow, error) {
+	src := b.Run()
+	if !src.Appears(sigma2) {
+		return nil, fmt.Errorf("%w: %s", run.ErrNoNode, sigma2)
+	}
+	dist, err := b.DistancesInto(sigma2)
+	if err != nil {
+		return nil, err
+	}
+	// D = max_{sigma'} d(sigma') over nodes with a path to the target.
+	var d64 int64
+	for _, dv := range dist {
+		if dv != graph.NegInf && dv > d64 {
+			d64 = dv
+		}
+	}
+	d := int(d64)
+	horizon := model.Time(d) + extra
+
+	slowTime := func(n run.BasicNode) (model.Time, bool) {
+		v, verr := b.Vertex(n)
+		if verr != nil {
+			return 0, false
+		}
+		if dist[v] == graph.NegInf {
+			return 0, false
+		}
+		t := model.Time(int64(d) - dist[v])
+		if t > horizon {
+			return 0, false
+		}
+		return t, true
+	}
+
+	bl := run.NewBuilder(src.Net(), horizon)
+	for _, del := range src.Deliveries() {
+		tTo, ok := slowTime(del.To)
+		if !ok {
+			continue
+		}
+		tFrom, ok := slowTime(del.From)
+		if !ok {
+			// The sender of a kept delivery is always kept: GB has an edge
+			// To -> From, so From inherits the path, and its slow time
+			// precedes tTo. Anything else is an internal inconsistency.
+			return nil, fmt.Errorf("timing: kept delivery %s with dropped sender", del)
+		}
+		bl.Message(run.MessageEvent{
+			FromProc: del.From.Proc,
+			ToProc:   del.To.Proc,
+			SendTime: tFrom,
+			RecvTime: tTo,
+		})
+	}
+	for _, ext := range src.Externals() {
+		if t, ok := slowTime(ext.To); ok {
+			bl.External(run.ExternalEvent{Proc: ext.To.Proc, Time: t, Label: ext.Label})
+		}
+	}
+	out, err := bl.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRun, err)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRun, err)
+	}
+	return &Slow{Run: out, Target: sigma2, D: d, Source: src, dist: dist, b: b}, nil
+}
+
+// Time returns the slow time of a source-run node, i.e. its time in the
+// synthesized run. ok is false for nodes without a path to the target or
+// beyond the synthesized horizon.
+func (s *Slow) Time(n run.BasicNode) (model.Time, bool) {
+	v, err := s.b.Vertex(n)
+	if err != nil || s.dist[v] == graph.NegInf {
+		return 0, false
+	}
+	t := model.Time(int64(s.D) - s.dist[v])
+	if t > s.Run.Horizon() {
+		return 0, false
+	}
+	return t, true
+}
+
+// Gap returns time(target) - time(sigma1) in the slow run, which equals the
+// longest-path weight d(sigma1) by construction — the tightness witness of
+// Theorem 2.
+func (s *Slow) Gap(sigma1 run.BasicNode) (int, error) {
+	t1, ok := s.Time(sigma1)
+	if !ok {
+		v, err := s.b.Vertex(sigma1)
+		if err != nil {
+			return 0, err
+		}
+		if s.dist[v] == graph.NegInf {
+			return 0, fmt.Errorf("%w: %s", ErrNoPath, sigma1)
+		}
+		return 0, fmt.Errorf("%w: %s", ErrNotKept, sigma1)
+	}
+	tt, err := s.Run.Time(s.Target)
+	if err != nil {
+		return 0, err
+	}
+	return tt - t1, nil
+}

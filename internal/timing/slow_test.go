@@ -1,0 +1,172 @@
+package timing
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/pattern"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/workload"
+)
+
+// TestSlowRunTightness is the executable content of Theorem 2: for random
+// instances and policies, the slow run r[T] targeted at sigma2 is a legal
+// run in which every node with a path to sigma2 in GB(r) occurs exactly its
+// longest-path weight before sigma2 — so the longest-path bound is tight,
+// and by Lemma 5 the extracted zigzag pattern of the same weight is the
+// heaviest one the communication structure supports.
+func TestSlowRunTightness(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		in := workload.MustGenerate(workload.DefaultConfig(seed))
+		for _, pol := range []sim.Policy{sim.Eager{}, sim.Lazy{}, sim.NewRandom(seed * 31)} {
+			r, err := in.Simulate(pol)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, pol.Name(), err)
+			}
+			window := in.WindowNodes(r)
+			if len(window) == 0 {
+				t.Fatalf("seed %d %s: empty window", seed, pol.Name())
+			}
+			gb := bounds.NewBasic(r)
+			// Target the last window node (richest precedence set).
+			sigma2 := window[len(window)-1]
+			slow, err := BuildSlow(gb, sigma2, 0)
+			if err != nil {
+				t.Fatalf("seed %d %s: BuildSlow(%s): %v", seed, pol.Name(), sigma2, err)
+			}
+			if err := slow.Run.Validate(); err != nil {
+				t.Fatalf("seed %d %s: slow run invalid: %v", seed, pol.Name(), err)
+			}
+			dist, err := gb.DistancesInto(sigma2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked := 0
+			for _, sigma1 := range window {
+				v, err := gb.Vertex(sigma1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dist[v] == graph.NegInf {
+					continue
+				}
+				gap, err := slow.Gap(sigma1)
+				if err != nil {
+					// Window nodes with positive distance are always kept;
+					// only negative-distance nodes can spill past the
+					// horizon, and extra=0 drops them.
+					if dist[v] < 0 {
+						continue
+					}
+					t.Fatalf("seed %d %s: Gap(%s): %v", seed, pol.Name(), sigma1, err)
+				}
+				if int64(gap) != dist[v] {
+					t.Errorf("seed %d %s: gap(%s -> %s) = %d, longest path %d",
+						seed, pol.Name(), sigma1, sigma2, gap, dist[v])
+				}
+				checked++
+				// Lemma 5: the extracted zigzag verifies at that weight.
+				if checked <= 6 {
+					z, w, found, err := pattern.ExtractBasic(gb, sigma1, sigma2)
+					if err != nil {
+						t.Fatalf("extract(%s): %v", sigma1, err)
+					}
+					if !found || int64(w) != dist[v] {
+						t.Errorf("seed %d: extract weight %d (found=%v), want %d", seed, w, found, dist[v])
+						continue
+					}
+					if err := z.Verify(r); err != nil {
+						t.Errorf("seed %d: zigzag verify: %v", seed, err)
+					}
+					if err := z.VerifyEndpoints(r, run.At(sigma1), run.At(sigma2)); err != nil {
+						t.Errorf("seed %d: endpoints: %v", seed, err)
+					}
+				}
+			}
+			if checked == 0 {
+				t.Errorf("seed %d %s: no pairs checked", seed, pol.Name())
+			}
+		}
+	}
+}
+
+// TestSlowRunNegativeGaps exercises the extra-horizon variant: nodes that
+// occur after the target (negative longest-path weight) are retained and
+// still land exactly at their distance.
+func TestSlowRunNegativeGaps(t *testing.T) {
+	in := workload.MustGenerate(workload.DefaultConfig(42))
+	r, err := in.Simulate(sim.NewRandom(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := in.WindowNodes(r)
+	gb := bounds.NewBasic(r)
+	sigma2 := window[0] // early target: most other nodes come after it
+	slow, err := BuildSlow(gb, sigma2, in.Window)
+	if err != nil {
+		t.Fatalf("BuildSlow with extra horizon: %v", err)
+	}
+	if err := slow.Run.Validate(); err != nil {
+		t.Fatalf("slow run invalid: %v", err)
+	}
+	dist, err := gb.DistancesInto(sigma2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negatives := 0
+	for _, sigma1 := range window {
+		v, _ := gb.Vertex(sigma1)
+		if dist[v] == graph.NegInf || dist[v] >= 0 {
+			continue
+		}
+		gap, err := slow.Gap(sigma1)
+		if err != nil {
+			continue // beyond even the extended horizon
+		}
+		if int64(gap) != dist[v] {
+			t.Errorf("gap(%s) = %d, want %d", sigma1, gap, dist[v])
+		}
+		negatives++
+	}
+	if negatives == 0 {
+		t.Skip("instance produced no negative-distance window pairs")
+	}
+}
+
+// TestSlowRunPreservesIdentity: kept nodes keep their (process, index)
+// identity and their inbox wiring — r[T] really is "the same run, slower".
+func TestSlowRunPreservesIdentity(t *testing.T) {
+	in := workload.MustGenerate(workload.DefaultConfig(5))
+	r, err := in.Simulate(sim.Eager{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := in.WindowNodes(r)
+	gb := bounds.NewBasic(r)
+	sigma2 := window[len(window)-1]
+	slow, err := BuildSlow(gb, sigma2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range window {
+		if _, ok := slow.Time(n); !ok {
+			continue
+		}
+		if !slow.Run.Appears(n) {
+			t.Fatalf("kept node %s missing from slow run", n)
+		}
+		src := r.Inbox(n)
+		dst := slow.Run.Inbox(n)
+		if len(src) != len(dst) {
+			t.Errorf("node %s inbox %d vs %d", n, len(src), len(dst))
+			continue
+		}
+		for i := range src {
+			if src[i].From != dst[i].From {
+				t.Errorf("node %s delivery %d from %s vs %s", n, i, src[i].From, dst[i].From)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace serializes networks and runs to JSON so that executions can
+// be archived, diffed and replayed — the artifact format of the experiment
+// harness. Decoding rebuilds a Run through the ordinary builder, so every
+// loaded trace re-passes legality validation.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// NetworkJSON is the wire form of a network.
+type NetworkJSON struct {
+	Procs    int           `json:"procs"`
+	Channels []ChannelJSON `json:"channels"`
+}
+
+// ChannelJSON is the wire form of one channel.
+type ChannelJSON struct {
+	From  model.ProcID `json:"from"`
+	To    model.ProcID `json:"to"`
+	Lower int          `json:"lower"`
+	Upper int          `json:"upper"`
+}
+
+// RunJSON is the wire form of a recorded run.
+type RunJSON struct {
+	Network   NetworkJSON    `json:"network"`
+	Horizon   model.Time     `json:"horizon"`
+	Messages  []MessageJSON  `json:"messages"`
+	Externals []ExternalJSON `json:"externals"`
+}
+
+// MessageJSON is the wire form of one delivery.
+type MessageJSON struct {
+	From model.ProcID `json:"from"`
+	To   model.ProcID `json:"to"`
+	Sent model.Time   `json:"sent"`
+	Recv model.Time   `json:"recv"`
+}
+
+// ExternalJSON is the wire form of one external input.
+type ExternalJSON struct {
+	Proc  model.ProcID `json:"proc"`
+	Time  model.Time   `json:"time"`
+	Label string       `json:"label"`
+}
+
+// EncodeNetwork converts a network to its wire form.
+func EncodeNetwork(net *model.Network) NetworkJSON {
+	out := NetworkJSON{Procs: net.N()}
+	for _, ch := range net.Channels() {
+		bd, _ := net.ChanBounds(ch.From, ch.To)
+		out.Channels = append(out.Channels, ChannelJSON{
+			From: ch.From, To: ch.To, Lower: bd.Lower, Upper: bd.Upper,
+		})
+	}
+	return out
+}
+
+// DecodeNetwork rebuilds a network from its wire form.
+func DecodeNetwork(nj NetworkJSON) (*model.Network, error) {
+	b := model.NewBuilder(nj.Procs)
+	for _, ch := range nj.Channels {
+		b.Chan(ch.From, ch.To, ch.Lower, ch.Upper)
+	}
+	return b.Build()
+}
+
+// EncodeRun converts a run to its wire form.
+func EncodeRun(r *run.Run) RunJSON {
+	out := RunJSON{
+		Network: EncodeNetwork(r.Net()),
+		Horizon: r.Horizon(),
+	}
+	for _, d := range r.Deliveries() {
+		out.Messages = append(out.Messages, MessageJSON{
+			From: d.From.Proc, To: d.To.Proc, Sent: d.SendTime, Recv: d.RecvTime,
+		})
+	}
+	for _, e := range r.Externals() {
+		out.Externals = append(out.Externals, ExternalJSON{
+			Proc: e.To.Proc, Time: e.Time, Label: e.Label,
+		})
+	}
+	return out
+}
+
+// DecodeRun rebuilds a run from its wire form via the standard builder and
+// validates it.
+func DecodeRun(rj RunJSON) (*run.Run, error) {
+	net, err := DecodeNetwork(rj.Network)
+	if err != nil {
+		return nil, fmt.Errorf("trace: network: %w", err)
+	}
+	bl := run.NewBuilder(net, rj.Horizon)
+	for _, m := range rj.Messages {
+		bl.Message(run.MessageEvent{FromProc: m.From, ToProc: m.To, SendTime: m.Sent, RecvTime: m.Recv})
+	}
+	for _, e := range rj.Externals {
+		bl.External(run.ExternalEvent{Proc: e.Proc, Time: e.Time, Label: e.Label})
+	}
+	r, err := bl.Build()
+	if err != nil {
+		return nil, fmt.Errorf("trace: run: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: loaded run illegal: %w", err)
+	}
+	return r, nil
+}
+
+// WriteRun streams a run as indented JSON.
+func WriteRun(w io.Writer, r *run.Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(EncodeRun(r))
+}
+
+// ReadRun loads a run from JSON.
+func ReadRun(rd io.Reader) (*run.Run, error) {
+	var rj RunJSON
+	if err := json.NewDecoder(rd).Decode(&rj); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return DecodeRun(rj)
+}

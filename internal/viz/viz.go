@@ -1,0 +1,159 @@
+// Package viz renders runs, bounds graphs and zigzag patterns as ASCII
+// diagrams, regenerating the paper's figures from actual executions. The
+// renderings are deterministic, making them usable as golden test outputs.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/pattern"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Timeline renders per-process timelines of a run: one row per process,
+// one column per time step, with node markers and delivery annotations.
+// roleOf maps process ids to display names (nil uses "p<i>").
+func Timeline(r *run.Run, roleOf map[model.ProcID]string, upTo model.Time) string {
+	if upTo <= 0 || upTo > r.Horizon() {
+		upTo = r.Horizon()
+	}
+	name := func(p model.ProcID) string {
+		if roleOf != nil {
+			if s, ok := roleOf[p]; ok {
+				return s
+			}
+		}
+		return fmt.Sprintf("p%d", p)
+	}
+	width := 0
+	for _, p := range r.Net().Procs() {
+		if w := len(name(p)); w > width {
+			width = w
+		}
+	}
+	var sb strings.Builder
+	// Header ruler.
+	fmt.Fprintf(&sb, "%*s |", width, "t")
+	for t := model.Time(0); t <= upTo; t++ {
+		if t%5 == 0 {
+			fmt.Fprintf(&sb, "%-5d", t)
+		}
+	}
+	sb.WriteString("\n")
+	for _, p := range r.Net().Procs() {
+		fmt.Fprintf(&sb, "%*s |", width, name(p))
+		line := make([]byte, upTo+1)
+		for i := range line {
+			line[i] = '-'
+		}
+		for k := 0; k <= r.LastIndex(p); k++ {
+			t := r.MustTime(run.BasicNode{Proc: p, Index: k})
+			if t <= upTo {
+				line[t] = '*'
+			}
+		}
+		sb.Write(line)
+		sb.WriteString("\n")
+	}
+	// Event legend.
+	var events []string
+	for _, e := range r.Externals() {
+		if e.Time <= upTo {
+			events = append(events, fmt.Sprintf("  t=%-3d ext %q -> %s", e.Time, e.Label, name(e.To.Proc)))
+		}
+	}
+	for _, d := range r.Deliveries() {
+		if d.RecvTime <= upTo {
+			events = append(events, fmt.Sprintf("  t=%-3d %s@%d => %s@%d",
+				d.RecvTime, name(d.From.Proc), d.SendTime, name(d.To.Proc), d.RecvTime))
+		}
+	}
+	sort.Strings(events)
+	if len(events) > 0 {
+		sb.WriteString("events:\n")
+		sb.WriteString(strings.Join(events, "\n"))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Steps renders a constraint path with per-step weights and a running
+// total — the textual form of Figure 7.
+func Steps(steps []bounds.Step) string {
+	var sb strings.Builder
+	total := 0
+	for i, s := range steps {
+		total += s.Weight
+		fmt.Fprintf(&sb, "%2d. %-60s (sum %+d)\n", i+1, s.String(), total)
+	}
+	fmt.Fprintf(&sb, "    total weight %+d\n", total)
+	return sb.String()
+}
+
+// Zigzag renders a zigzag pattern fork by fork with weights.
+func Zigzag(net *model.Network, z *pattern.Zigzag) string {
+	var sb strings.Builder
+	total := 0
+	for i, f := range z.Forks {
+		w, err := f.Weight(net)
+		if err != nil {
+			fmt.Fprintf(&sb, "F%d: %s  <error: %v>\n", i+1, f, err)
+			continue
+		}
+		total += w
+		fmt.Fprintf(&sb, "F%d: base=%s  head+%s (L=%d)  tail+%s (U=%d)  wt=%+d\n",
+			i+1, f.Base, f.HeadPath, net.MustLowerSum(f.HeadPath),
+			f.TailPath, net.MustUpperSum(f.TailPath), w)
+		if i < len(z.NonJoined) {
+			if z.NonJoined[i] {
+				total++
+				sb.WriteString("    -- non-joined (+1) --\n")
+			} else {
+				sb.WriteString("    -- joined --\n")
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "wt(Z) = %+d over %d forks\n", total, len(z.Forks))
+	return sb.String()
+}
+
+// ExtendedStats summarizes an extended bounds graph: the textual form of
+// Figure 8.
+func ExtendedStats(e *bounds.Extended) string {
+	g := e.Graph()
+	kinds := map[bounds.StepKind]int{}
+	for u := 0; u < g.N(); u++ {
+		from := e.PointOf(u)
+		for _, edge := range g.Out(u) {
+			to := e.PointOf(edge.To)
+			switch {
+			case from.Aux && to.Aux:
+				kinds[bounds.StepAuxHop]++
+			case from.Aux && !to.Aux:
+				kinds[bounds.StepAuxExit]++ // includes aux->chain 0-edges
+			case !from.Aux && to.Aux:
+				kinds[bounds.StepAuxEnter]++
+			case edge.Weight == 1 && from.Node.Proc() == to.Node.Proc():
+				kinds[bounds.StepSucc]++
+			case edge.Weight > 0:
+				kinds[bounds.StepLower]++
+			default:
+				kinds[bounds.StepUpper]++
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GE(r, %s): %d vertices (%d past nodes + %d auxiliary), %d edges\n",
+		e.Past().Origin(), g.N(), e.Past().Size(), e.Net().N(), g.NumEdges())
+	for _, k := range []bounds.StepKind{
+		bounds.StepSucc, bounds.StepLower, bounds.StepUpper,
+		bounds.StepAuxEnter, bounds.StepAuxHop, bounds.StepAuxExit,
+	} {
+		fmt.Fprintf(&sb, "  %-10s %d\n", k.String(), kinds[k])
+	}
+	return sb.String()
+}

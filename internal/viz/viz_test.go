@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/pattern"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+func demoRun(t *testing.T) *run.Run {
+	t.Helper()
+	net := model.NewBuilder(3).Chan(1, 2, 1, 3).Chan(1, 3, 8, 12).MustBuild()
+	r, err := sim.Simulate(sim.Config{
+		Net: net, Horizon: 30, Policy: sim.Eager{}, Externals: sim.GoAt(1, 1, "go"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	r := demoRun(t)
+	names := map[model.ProcID]string{1: "C", 2: "A", 3: "B"}
+	a := Timeline(r, names, 15)
+	b := Timeline(r, names, 15)
+	if a != b {
+		t.Error("timeline rendering not deterministic")
+	}
+	for _, want := range []string{"C |", "A |", "B |", `ext "go" -> C`, "C@1 => A@2", "C@1 => B@9"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("timeline missing %q:\n%s", want, a)
+		}
+	}
+	// Node markers: C has 2 nodes, so two stars on its line.
+	cLine := strings.SplitN(a, "\n", 3)[1]
+	if strings.Count(cLine, "*") != 2 {
+		t.Errorf("C line %q has wrong marker count", cLine)
+	}
+}
+
+func TestTimelineDefaultNames(t *testing.T) {
+	r := demoRun(t)
+	out := Timeline(r, nil, 0)
+	if !strings.Contains(out, "p1 |") {
+		t.Errorf("default names missing:\n%s", out)
+	}
+}
+
+func TestStepsRender(t *testing.T) {
+	r := demoRun(t)
+	gb := bounds.NewBasic(r)
+	_, steps, ok, err := gb.LongestBetween(
+		run.BasicNode{Proc: 2, Index: 1}, run.BasicNode{Proc: 3, Index: 1})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	out := Steps(steps)
+	if !strings.Contains(out, "total weight +5") {
+		t.Errorf("steps render:\n%s", out)
+	}
+	if !strings.Contains(out, "upper") || !strings.Contains(out, "lower") {
+		t.Errorf("step kinds missing:\n%s", out)
+	}
+}
+
+func TestZigzagRender(t *testing.T) {
+	r := demoRun(t)
+	gb := bounds.NewBasic(r)
+	z, _, found, err := pattern.ExtractBasic(gb,
+		run.BasicNode{Proc: 2, Index: 1}, run.BasicNode{Proc: 3, Index: 1})
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	out := Zigzag(r.Net(), z)
+	if !strings.Contains(out, "wt(Z) = +5") {
+		t.Errorf("zigzag render:\n%s", out)
+	}
+}
+
+func TestExtendedStatsRender(t *testing.T) {
+	r := demoRun(t)
+	ext, err := bounds.NewExtended(r, run.BasicNode{Proc: 3, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExtendedStats(ext)
+	for _, want := range []string{"GE(r, p3#1)", "aux-enter", "succ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package workload generates random bcm instances — networks, bounds and
+// external-input schedules — for property-based tests and the scaling
+// benchmarks. Generation is deterministic in the seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// Config bounds the shape of generated instances.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Procs is the number of processes (>= 2).
+	Procs int
+	// ExtraChannels adds this many random directed channels on top of a
+	// random strongly-connecting ring (which guarantees information can
+	// flow everywhere).
+	ExtraChannels int
+	// MaxLower and MaxSlack bound channel bounds: L in [1, MaxLower],
+	// U = L + [0, MaxSlack].
+	MaxLower, MaxSlack int
+	// Externals is the number of spontaneous inputs to schedule.
+	Externals int
+	// SpreadTime is the latest external-input time.
+	SpreadTime model.Time
+	// Window is the analysis window: tests should query nodes with time <=
+	// Window. AutoHorizon sizes the recording so the window has full slack.
+	Window model.Time
+}
+
+// DefaultConfig returns a small, well-connected instance shape.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Procs:         5,
+		ExtraChannels: 5,
+		MaxLower:      3,
+		MaxSlack:      3,
+		Externals:     3,
+		SpreadTime:    8,
+		Window:        24,
+	}
+}
+
+// Instance is one generated scenario.
+type Instance struct {
+	Net       *model.Network
+	Externals []run.ExternalEvent
+	Horizon   model.Time
+	Window    model.Time
+	Seed      int64
+}
+
+// Generate builds the instance for cfg.
+func Generate(cfg Config) (*Instance, error) {
+	if cfg.Procs < 2 {
+		return nil, fmt.Errorf("workload: need >= 2 processes, got %d", cfg.Procs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nb := model.NewBuilder(cfg.Procs)
+	randBounds := func() (int, int) {
+		l := 1 + rng.Intn(cfg.MaxLower)
+		u := l + rng.Intn(cfg.MaxSlack+1)
+		return l, u
+	}
+	// A random ring over a permutation keeps the network strongly
+	// connected, so floods reach everyone.
+	perm := rng.Perm(cfg.Procs)
+	have := make(map[model.Channel]bool)
+	for i := range perm {
+		from := model.ProcID(perm[i] + 1)
+		to := model.ProcID(perm[(i+1)%len(perm)] + 1)
+		if from == to {
+			continue
+		}
+		l, u := randBounds()
+		nb.Chan(from, to, l, u)
+		have[model.Channel{From: from, To: to}] = true
+	}
+	for added := 0; added < cfg.ExtraChannels; {
+		from := model.ProcID(1 + rng.Intn(cfg.Procs))
+		to := model.ProcID(1 + rng.Intn(cfg.Procs))
+		ch := model.Channel{From: from, To: to}
+		if from == to || have[ch] {
+			added++ // count attempts so dense configs terminate
+			continue
+		}
+		l, u := randBounds()
+		nb.Chan(from, to, l, u)
+		have[ch] = true
+		added++
+	}
+	net, err := nb.Build()
+	if err != nil {
+		return nil, err
+	}
+	externals := make([]run.ExternalEvent, 0, cfg.Externals)
+	for i := 0; i < cfg.Externals; i++ {
+		externals = append(externals, run.ExternalEvent{
+			Proc:  model.ProcID(1 + rng.Intn(cfg.Procs)),
+			Time:  1 + model.Time(rng.Intn(int(cfg.SpreadTime))),
+			Label: fmt.Sprintf("ext%d", i),
+		})
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = cfg.SpreadTime + model.Time(4*(cfg.MaxLower+cfg.MaxSlack))
+	}
+	// DESIGN.md §4: record far enough past the analysis window that every
+	// truncation artefact lands strictly beyond any synthesized horizon.
+	slack := model.Time((cfg.Procs + 3) * net.MaxUpper() * 2)
+	return &Instance{
+		Net:       net,
+		Externals: externals,
+		Horizon:   window + slack,
+		Window:    window,
+		Seed:      cfg.Seed,
+	}, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg Config) *Instance {
+	in, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Simulate runs the instance under a policy.
+func (in *Instance) Simulate(policy sim.Policy) (*run.Run, error) {
+	return sim.Simulate(sim.Config{
+		Net:       in.Net,
+		Horizon:   in.Horizon,
+		Policy:    policy,
+		Externals: in.Externals,
+	})
+}
+
+// WindowNodes returns the non-initial basic nodes whose time falls inside
+// the analysis window, in deterministic order.
+func (in *Instance) WindowNodes(r *run.Run) []run.BasicNode {
+	var out []run.BasicNode
+	for _, p := range in.Net.Procs() {
+		for k := 1; k <= r.LastIndex(p); k++ {
+			n := run.BasicNode{Proc: p, Index: k}
+			if r.MustTime(n) <= in.Window {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}

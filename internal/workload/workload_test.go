@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(DefaultConfig(9))
+	b := MustGenerate(DefaultConfig(9))
+	if a.Net.String() != b.Net.String() {
+		t.Error("same seed produced different networks")
+	}
+	if len(a.Externals) != len(b.Externals) {
+		t.Fatal("external counts differ")
+	}
+	for i := range a.Externals {
+		if a.Externals[i] != b.Externals[i] {
+			t.Errorf("external %d differs", i)
+		}
+	}
+}
+
+func TestGenerateStronglyConnected(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		in := MustGenerate(DefaultConfig(seed))
+		for _, src := range in.Net.Procs() {
+			for _, dst := range in.Net.Procs() {
+				if !in.Net.Reachable(src, dst) {
+					t.Fatalf("seed %d: %d cannot reach %d", seed, src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateBoundsValid(t *testing.T) {
+	in := MustGenerate(DefaultConfig(4))
+	for _, ch := range in.Net.Channels() {
+		bd, err := in.Net.ChanBounds(ch.From, ch.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bd.Valid() {
+			t.Errorf("channel %s has invalid bounds %s", ch, bd)
+		}
+	}
+}
+
+func TestGenerateRejectsTiny(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Procs = 1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("single-process instance accepted")
+	}
+}
+
+func TestWindowNodes(t *testing.T) {
+	in := MustGenerate(DefaultConfig(2))
+	r, err := in.Simulate(sim.Eager{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := in.WindowNodes(r)
+	if len(nodes) == 0 {
+		t.Fatal("empty window")
+	}
+	for _, n := range nodes {
+		if n.IsInitial() {
+			t.Errorf("initial node %s in window", n)
+		}
+		if tm := r.MustTime(n); tm > in.Window {
+			t.Errorf("node %s at %d beyond window %d", n, tm, in.Window)
+		}
+	}
+}
+
+func TestHorizonHasSlack(t *testing.T) {
+	in := MustGenerate(DefaultConfig(3))
+	minSlack := model.Time((in.Net.N() + 3) * in.Net.MaxUpper())
+	if in.Horizon < in.Window+minSlack {
+		t.Errorf("horizon %d lacks slack beyond window %d", in.Horizon, in.Window)
+	}
+}

@@ -1,0 +1,23 @@
+package zigzag
+
+import (
+	"github.com/clockless/zigzag/internal/viz"
+)
+
+// RenderTimeline renders per-process timelines of a run as ASCII art, with
+// optional role names per process. upTo limits the rendered window (0 means
+// the whole recording).
+func RenderTimeline(r *Run, names map[ProcID]string, upTo Time) string {
+	return viz.Timeline(r, names, upTo)
+}
+
+// RenderSteps renders a constraint path with running weights (the textual
+// form of the paper's Figure 7).
+func RenderSteps(steps []Step) string { return viz.Steps(steps) }
+
+// RenderZigzag renders a zigzag pattern fork by fork with leg weights.
+func RenderZigzag(net *Network, z *Zigzag) string { return viz.Zigzag(net, z) }
+
+// RenderExtendedStats summarizes an extended bounds graph (the textual form
+// of the paper's Figure 8).
+func RenderExtendedStats(g *ExtendedGraph) string { return viz.ExtendedStats(g) }

@@ -1,0 +1,166 @@
+package zigzag_test
+
+import (
+	"testing"
+
+	zigzag "github.com/clockless/zigzag"
+)
+
+// TestPublicAPIFigure1 walks the full public surface: network construction,
+// simulation, bounds analysis, knowledge, coordination and the tightness
+// constructions — everything a downstream user touches.
+func TestPublicAPIFigure1(t *testing.T) {
+	net, err := zigzag.NewNetwork(3).
+		Chan(1, 2, 1, 3).
+		Chan(1, 3, 8, 12).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := zigzag.Task{Kind: zigzag.Late, X: 5, A: 2, B: 3, C: 1, GoTime: 1}
+	r, err := task.Simulate(net, zigzag.LazyPolicy{}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Supported bound between A's and B's receipt nodes.
+	gb := zigzag.NewBasicGraph(r)
+	a := zigzag.BasicNode{Proc: 2, Index: 1}
+	b := zigzag.BasicNode{Proc: 3, Index: 1}
+	x, z, found, err := zigzag.SupportedBound(gb, a, b)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if x != 5 {
+		t.Errorf("supported bound %d, want 5", x)
+	}
+	if err := z.Verify(r); err != nil {
+		t.Errorf("witness: %v", err)
+	}
+
+	// Knowledge at B's decision node.
+	ext, err := zigzag.NewExtendedGraph(r, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aNode := zigzag.At(zigzag.BasicNode{Proc: 1, Index: 1}).Hop(2)
+	kw, w, known, err := zigzag.KnowledgeWeight(ext, aNode, zigzag.At(b))
+	if err != nil || !known {
+		t.Fatalf("known=%v err=%v", known, err)
+	}
+	if kw != 5 {
+		t.Errorf("kw = %d, want 5", kw)
+	}
+	if err := w.VerifyVisible(r); err != nil {
+		t.Errorf("visible witness: %v", err)
+	}
+	ok, err := zigzag.Knows(ext, aNode, 5, zigzag.At(b))
+	if err != nil || !ok {
+		t.Errorf("Knows = %v, %v", ok, err)
+	}
+
+	// Tightness constructions.
+	slow, err := zigzag.BuildSlowRun(gb, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := slow.Gap(a)
+	if err != nil || gap != 5 {
+		t.Errorf("slow gap = %d, %v", gap, err)
+	}
+	fast, err := zigzag.BuildFastRun(r, b, aNode, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgap, err := fast.Gap(zigzag.At(b))
+	if err != nil || fgap != 5 {
+		t.Errorf("fast gap = %d, %v", fgap, err)
+	}
+	if err := zigzag.SameView(r, fast.Run, b); err != nil {
+		t.Errorf("fast run view: %v", err)
+	}
+
+	// Coordination outcome and renderings.
+	out, err := task.RunOptimal(r)
+	if err != nil || !out.Acted {
+		t.Fatalf("acted=%v err=%v", out != nil && out.Acted, err)
+	}
+	if s := zigzag.RenderTimeline(r, map[zigzag.ProcID]string{1: "C", 2: "A", 3: "B"}, 20); s == "" {
+		t.Error("empty timeline")
+	}
+	if s := zigzag.RenderZigzag(net, &out.Witness.Zigzag); s == "" {
+		t.Error("empty zigzag render")
+	}
+	if s := zigzag.RenderExtendedStats(ext); s == "" {
+		t.Error("empty stats render")
+	}
+}
+
+// TestPublicAPIBuilderAndPolicies exercises secondary surface: run builder,
+// policy kinds, Via paths.
+func TestPublicAPIBuilderAndPolicies(t *testing.T) {
+	net, err := zigzag.NewNetwork(2).Chan(1, 2, 2, 4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := zigzag.Simulate(zigzag.SimConfig{
+		Net:       net,
+		Horizon:   20,
+		Policy:    zigzag.NewRandomPolicy(3),
+		Externals: zigzag.GoAt(1, 1, "go"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := zigzag.Via(zigzag.BasicNode{Proc: 1, Index: 1}, zigzag.Path{1, 2})
+	tm, err := r.TimeOf(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < 3 || tm > 5 {
+		t.Errorf("chain time %d outside [3,5]", tm)
+	}
+	adversary := zigzag.PolicyFunc{ID: "max", F: func(s zigzag.Send, b zigzag.Bounds) int {
+		return b.Upper
+	}}
+	r2, err := zigzag.Simulate(zigzag.SimConfig{
+		Net: net, Horizon: 20, Policy: adversary, Externals: zigzag.GoAt(1, 1, "go"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.MustTimeOf(theta); got != 5 {
+		t.Errorf("adversary arrival %d, want 5", got)
+	}
+}
+
+// TestPublicAPIErrors: representative error paths surface cleanly.
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := zigzag.NewNetwork(2).Chan(1, 1, 1, 1).Build(); err == nil {
+		t.Error("self-loop accepted")
+	}
+	net, err := zigzag.NewNetwork(2).Chan(1, 2, 1, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zigzag.Simulate(zigzag.SimConfig{Net: net, Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	r, err := zigzag.Simulate(zigzag.SimConfig{
+		Net: net, Horizon: 10, Externals: zigzag.GoAt(1, 1, "go"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Time(zigzag.BasicNode{Proc: 9, Index: 0}); err == nil {
+		t.Error("bogus node timed")
+	}
+	var task zigzag.Task
+	task = zigzag.Task{Kind: zigzag.Late, X: 1, A: 2, B: 2, C: 1, GoTime: 5}
+	if _, err := task.Wire(r); err == nil {
+		t.Error("wire without go input succeeded")
+	}
+}
