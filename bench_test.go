@@ -359,6 +359,7 @@ func BenchmarkScalingSimulate(b *testing.B) {
 			cfg.ExtraChannels = 2 * n
 			in := workload.MustGenerate(cfg)
 			var nodes int
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r, err := in.Simulate(sim.NewRandom(int64(i)))
@@ -385,6 +386,7 @@ func BenchmarkScalingBasicGraph(b *testing.B) {
 				b.Fatal(err)
 			}
 			var edges int
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				edges = bounds.NewBasic(r).NumEdges()
@@ -420,6 +422,7 @@ func BenchmarkScalingKnowledge(b *testing.B) {
 					break
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ext, err := bounds.NewExtended(r, sigma)

@@ -1,51 +1,29 @@
 // Command zigzag-sim runs one of the canonical scenarios and prints its
 // timeline, the coordination outcome and the justifying zigzag pattern.
+// With -sweep it instead runs the full scenario registry as a
+// scenario × policy × seed grid across a worker pool and prints the
+// aggregate table.
 //
 // Usage:
 //
 //	zigzag-sim [-scenario name] [-policy eager|lazy|random] [-seed n]
-//	           [-x n] [-timeline n] [-list]
+//	           [-x n] [-timeline n] [-list] [-dump file]
+//	zigzag-sim -sweep [-seeds n] [-workers n] [-x n]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/scenario"
 	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/sweep"
 	"github.com/clockless/zigzag/internal/trace"
 	"github.com/clockless/zigzag/internal/viz"
 )
-
-func scenarios(x int) map[string]*scenario.Scenario {
-	f1 := scenario.DefaultFigure1()
-	f2 := scenario.DefaultFigure2()
-	f4 := scenario.DefaultFigure4()
-	if x != 0 {
-		f1.X, f2.X, f4.X = x, x, x
-	}
-	hold := 3
-	lead := 4
-	holdCirc := 6
-	if x != 0 {
-		hold, lead, holdCirc = x, x, x
-	}
-	return map[string]*scenario.Scenario{
-		"figure1":  scenario.Figure1(f1),
-		"figure2a": scenario.Figure2a(f2),
-		"figure2b": scenario.Figure2b(f2),
-		"figure3":  scenario.Figure3(scenario.DefaultFigure3()),
-		"figure4":  scenario.Figure4(f4),
-		"figure6":  scenario.Figure6(2, 5),
-		"trains":   scenario.Trains(hold),
-		"takeoff":  scenario.Takeoff(lead),
-		"circuits": scenario.Circuits(holdCirc),
-	}
-}
 
 func main() {
 	var (
@@ -56,17 +34,22 @@ func main() {
 		timeline = flag.Int("timeline", 32, "timeline window to render")
 		list     = flag.Bool("list", false, "list scenarios and exit")
 		dump     = flag.String("dump", "", "write the recorded run as JSON to this file")
+		doSweep  = flag.Bool("sweep", false, "sweep the full registry under every policy and print the aggregate table")
+		seeds    = flag.Int("seeds", 8, "number of seeds per (scenario, policy) cell in a sweep")
+		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	all := scenarios(*x)
+	all := scenario.Registry(*x)
 	if *list {
-		names := make([]string, 0, len(all))
-		for n := range all {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
+		for _, n := range scenario.Names(all) {
 			fmt.Printf("%-9s %s\n", n, all[n].Description)
+		}
+		return
+	}
+	if *doSweep {
+		if err := runSweep(all, *seeds, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -155,4 +138,39 @@ func main() {
 			fmt.Println("asynchronous baseline: never acts on this network")
 		}
 	}
+}
+
+// runSweep runs the full registry × policy × seed grid and prints the
+// aggregate table in deterministic order.
+func runSweep(all map[string]*scenario.Scenario, seeds, workers int) error {
+	if seeds < 1 {
+		return fmt.Errorf("sweep needs at least one seed, got %d", seeds)
+	}
+	grid := sweep.Grid{
+		Scenarios: scenario.All(all),
+		Policies:  sweep.DefaultPolicies(),
+		Seeds:     make([]int64, seeds),
+		Workers:   workers,
+	}
+	for i := range grid.Seeds {
+		grid.Seeds[i] = int64(i + 1)
+	}
+	results, err := grid.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep: %d scenarios x %d policies x %d seeds = %d runs\n\n",
+		len(grid.Scenarios), len(grid.Policies), len(grid.Seeds), grid.Size())
+	fmt.Print(sweep.Table(sweep.Summarize(results)))
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "cell %s/%s seed=%d: %v\n", res.Scenario, res.Policy, res.Seed, res.Err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d cells failed", failed, len(results))
+	}
+	return nil
 }

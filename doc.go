@@ -46,6 +46,18 @@
 // comparison. Early coordination is impossible asynchronously; in the bcm it
 // is routine.
 //
+// # Scenarios and sweeps
+//
+// The canonical instances — the paper's figures plus the trains, takeoff
+// and circuits domains — live in internal/scenario and are enumerated by
+// its Registry. internal/sweep runs scenario × policy × seed grids of
+// simulations across a GOMAXPROCS worker pool and aggregates run shapes and
+// coordination outcomes deterministically (results are independent of the
+// worker count); `zigzag-sim -sweep` is the CLI front end. The simulator
+// itself is allocation-light: the event schedule and the run indexes are
+// horizon-indexed slices rather than maps, guarded by allocation-budget
+// tests in internal/sim.
+//
 // The implementation details live in internal packages; this package
 // re-exports the stable API. See DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-artifact reproductions.

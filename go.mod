@@ -1,0 +1,3 @@
+module github.com/clockless/zigzag
+
+go 1.21

@@ -60,100 +60,113 @@ func (bl *Builder) External(ev ExternalEvent) *Builder {
 // result for full legality checking.
 func (bl *Builder) Build() (*Run, error) {
 	n := bl.net.N()
+	h := int(bl.horizon)
 
-	// 1. Collect the receive times of every process.
-	recvTimes := make([]map[model.Time]bool, n)
-	for i := range recvTimes {
-		recvTimes[i] = make(map[model.Time]bool)
+	// 1. Collect the receive times of every process in horizon-indexed
+	// bitmaps (one shared backing array; no per-process maps).
+	recvBacking := make([]bool, n*(h+1))
+	recv := make([][]bool, n)
+	for i := range recv {
+		recv[i] = recvBacking[i*(h+1) : (i+1)*(h+1)]
 	}
-	note := func(p model.ProcID, t model.Time, what string) error {
+	counts := make([]int, n)
+	note := func(p model.ProcID, t model.Time) error {
 		if !bl.net.ValidProc(p) {
-			return fmt.Errorf("%w: %s at process %d", model.ErrBadProc, what, p)
+			return fmt.Errorf("%w: process %d", model.ErrBadProc, p)
 		}
 		if t < 1 {
-			return fmt.Errorf("run: %s at time %d: receipts start at time 1", what, t)
+			return fmt.Errorf("run: time %d: receipts start at time 1", t)
 		}
 		if t > bl.horizon {
-			return fmt.Errorf("%w: %s at time %d > horizon %d", ErrOutsideHorizon, what, t, bl.horizon)
+			return fmt.Errorf("%w: time %d > horizon %d", ErrOutsideHorizon, t, bl.horizon)
 		}
-		recvTimes[p-1][t] = true
+		if !recv[p-1][t] {
+			recv[p-1][t] = true
+			counts[p-1]++
+		}
 		return nil
 	}
 	for _, ev := range bl.messages {
-		if err := note(ev.ToProc, ev.RecvTime, fmt.Sprintf("delivery %d->%d", ev.FromProc, ev.ToProc)); err != nil {
-			return nil, err
+		if err := note(ev.ToProc, ev.RecvTime); err != nil {
+			return nil, fmt.Errorf("delivery %d->%d: %w", ev.FromProc, ev.ToProc, err)
 		}
 	}
 	for _, ev := range bl.externs {
-		if err := note(ev.Proc, ev.Time, fmt.Sprintf("external %q", ev.Label)); err != nil {
-			return nil, err
+		if err := note(ev.Proc, ev.Time); err != nil {
+			return nil, fmt.Errorf("external %q: %w", ev.Label, err)
 		}
 	}
 
 	// 2. Assign node indices per process: index 0 at time 0, then one node
-	// per distinct receive time in ascending order.
+	// per distinct receive time in ascending order. nodeAt[i][t] is the
+	// index of process i+1's node created at time t (0 = none).
+	total := n
+	for _, c := range counts {
+		total += c
+	}
 	r := &Run{
 		net:     bl.net,
 		horizon: bl.horizon,
 		times:   make([][]model.Time, n),
-		inbox:   make(map[BasicNode][]int),
-		extIn:   make(map[BasicNode][]int),
-		sent:    make(map[BasicNode]map[model.ProcID]int),
+		nodeOff: make([]int32, n+1),
+		inbox:   make([]span, total),
+		extIn:   make(map[BasicNode][]int, len(bl.externs)),
+		sent:    make(map[sentKey]int, len(bl.messages)),
 	}
-	nodeOf := make([]map[model.Time]BasicNode, n)
+	nodeBacking := make([]int32, n*(h+1))
+	nodeAt := make([][]int32, n)
+	timeBacking := make([]model.Time, 0, total)
 	for i := 0; i < n; i++ {
-		ts := make([]model.Time, 0, len(recvTimes[i])+1)
-		for t := range recvTimes[i] {
-			ts = append(ts, t)
+		nodeAt[i] = nodeBacking[i*(h+1) : (i+1)*(h+1)]
+		r.nodeOff[i+1] = r.nodeOff[i] + int32(counts[i]) + 1
+		start := len(timeBacking)
+		timeBacking = append(timeBacking, 0)
+		k := int32(0)
+		for t := 1; t <= h; t++ {
+			if recv[i][t] {
+				k++
+				nodeAt[i][t] = k
+				timeBacking = append(timeBacking, model.Time(t))
+			}
 		}
-		sort.Ints(ts)
-		r.times[i] = append([]model.Time{0}, ts...)
-		nodeOf[i] = make(map[model.Time]BasicNode, len(ts))
-		for k, t := range ts {
-			nodeOf[i][t] = BasicNode{Proc: model.ProcID(i + 1), Index: k + 1}
-		}
+		r.times[i] = timeBacking[start:len(timeBacking):len(timeBacking)]
 	}
 
-	// 3. Wire deliveries.
-	senderAt := func(p model.ProcID, t model.Time) (BasicNode, error) {
-		if t == 0 {
-			return BasicNode{}, fmt.Errorf("%w: send at time 0 by process %d", ErrInitialSend, p)
-		}
-		b, ok := nodeOf[p-1][t]
-		if !ok {
-			return BasicNode{}, fmt.Errorf("run: process %d has no node at send time %d", p, t)
-		}
-		return b, nil
-	}
+	// 3. Wire deliveries. The sent map doubles as the duplicate-send check;
+	// its indices are fixed up after sorting below.
+	r.deliveries = make([]Delivery, 0, len(bl.messages))
 	for _, ev := range bl.messages {
 		if !bl.net.HasChan(ev.FromProc, ev.ToProc) {
 			return nil, fmt.Errorf("%w: %d->%d", ErrChannelMissing, ev.FromProc, ev.ToProc)
 		}
-		from, err := senderAt(ev.FromProc, ev.SendTime)
-		if err != nil {
-			return nil, err
+		if ev.SendTime == 0 {
+			return nil, fmt.Errorf("%w: send at time 0 by process %d", ErrInitialSend, ev.FromProc)
 		}
-		to := nodeOf[ev.ToProc-1][ev.RecvTime]
+		var fromIdx int32
+		if ev.SendTime >= 1 && int(ev.SendTime) <= h {
+			fromIdx = nodeAt[ev.FromProc-1][ev.SendTime]
+		}
+		if fromIdx == 0 {
+			return nil, fmt.Errorf("run: process %d has no node at send time %d", ev.FromProc, ev.SendTime)
+		}
+		from := BasicNode{Proc: ev.FromProc, Index: int(fromIdx)}
+		to := BasicNode{Proc: ev.ToProc, Index: int(nodeAt[ev.ToProc-1][ev.RecvTime])}
 		d := Delivery{From: from, To: to, SendTime: ev.SendTime, RecvTime: ev.RecvTime}
 		bd, _ := bl.net.ChanBounds(ev.FromProc, ev.ToProc)
 		lat := ev.RecvTime - ev.SendTime
 		if lat < bd.Lower || lat > bd.Upper {
 			return nil, fmt.Errorf("%w: %s latency %d outside %s", ErrBadDelivery, d, lat, bd)
 		}
-		if m := r.sent[from]; m != nil {
-			if _, dup := m[ev.ToProc]; dup {
-				return nil, fmt.Errorf("%w: %s to %d", ErrDuplicateSend, from, ev.ToProc)
-			}
-		} else {
-			r.sent[from] = make(map[model.ProcID]int)
+		key := sentKey{from: from, to: ev.ToProc}
+		if _, dup := r.sent[key]; dup {
+			return nil, fmt.Errorf("%w: %s to %d", ErrDuplicateSend, from, ev.ToProc)
 		}
-		idx := len(r.deliveries)
+		r.sent[key] = -1
 		r.deliveries = append(r.deliveries, d)
-		r.sent[from][ev.ToProc] = idx
-		r.inbox[to] = append(r.inbox[to], idx)
 	}
+	r.externals = make([]External, 0, len(bl.externs))
 	for _, ev := range bl.externs {
-		to := nodeOf[ev.Proc-1][ev.Time]
+		to := BasicNode{Proc: ev.Proc, Index: int(nodeAt[ev.Proc-1][ev.Time])}
 		idx := len(r.externals)
 		r.externals = append(r.externals, External{To: to, Time: ev.Time, Label: ev.Label})
 		r.extIn[to] = append(r.extIn[to], idx)
@@ -161,13 +174,14 @@ func (bl *Builder) Build() (*Run, error) {
 
 	// 4. Derive pending messages: every non-initial node sends on every
 	// outgoing channel under FFIP; sends without a recorded delivery are
-	// still in transit.
-	for _, p := range bl.net.Procs() {
+	// still in transit. Only presence in sent matters here, so this can run
+	// before the indices are fixed up.
+	for p := model.ProcID(1); int(p) <= n; p++ {
 		for k := 1; k <= r.LastIndex(p); k++ {
 			from := BasicNode{Proc: p, Index: k}
 			st := r.times[p-1][k]
 			for _, q := range bl.net.Out(p) {
-				if _, ok := r.DeliveryFrom(from, q); !ok {
+				if _, ok := r.sent[sentKey{from: from, to: q}]; !ok {
 					r.pending = append(r.pending, Pending{From: from, To: q, SendTime: st})
 				}
 			}
@@ -193,15 +207,17 @@ func (bl *Builder) Build() (*Run, error) {
 		}
 		return a.From.Proc < b.From.Proc
 	})
-	// Re-index after sorting deliveries.
-	r.inbox = make(map[BasicNode][]int)
-	r.sent = make(map[BasicNode]map[model.ProcID]int)
+	// Re-index after sorting deliveries. Deliveries into one node share its
+	// (RecvTime, To.Proc) batch key, so after the sort each inbox is one
+	// contiguous span.
 	for idx, d := range r.deliveries {
-		r.inbox[d.To] = append(r.inbox[d.To], idx)
-		if r.sent[d.From] == nil {
-			r.sent[d.From] = make(map[model.ProcID]int)
+		r.sent[sentKey{from: d.From, to: d.To.Proc}] = idx
+		sp := &r.inbox[r.flat(d.To)]
+		if sp.hi == sp.lo {
+			sp.lo, sp.hi = int32(idx), int32(idx+1)
+		} else {
+			sp.hi = int32(idx + 1)
 		}
-		r.sent[d.From][d.To.Proc] = idx
 	}
 	return r, nil
 }

@@ -102,8 +102,9 @@ func (r *Run) Past(sigma BasicNode) (*PastSet, error) {
 		// inboxes pull sender nodes into the past.
 		for k := already + 1; k <= cur.Index; k++ {
 			node := BasicNode{Proc: cur.Proc, Index: k}
-			for _, idx := range r.inbox[node] {
-				from := r.deliveries[idx].From
+			sp := r.inbox[r.flat(node)]
+			for _, d := range r.deliveries[sp.lo:sp.hi] {
+				from := d.From
 				if from.Index > ps.members[from.Proc-1] {
 					queue = append(queue, item{b: from})
 				}

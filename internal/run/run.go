@@ -55,6 +55,17 @@ func (p Pending) Deadline(net *model.Network) model.Time {
 	return p.SendTime + net.Upper(p.From.Proc, p.To)
 }
 
+// span is a half-open range [lo, hi) of indices into a Run's deliveries
+// slice; the zero value is the empty span.
+type span struct{ lo, hi int32 }
+
+// sentKey identifies the unique FFIP message sent at a node on one outgoing
+// channel.
+type sentKey struct {
+	from BasicNode
+	to   model.ProcID
+}
+
 // Run is a finite recording of an execution of the FFIP in a bounded
 // context: the first Horizon+1 global states of an infinite run. It is
 // immutable once built and safe for concurrent reads.
@@ -68,17 +79,27 @@ type Run struct {
 	deliveries []Delivery
 	externals  []External
 
-	// inbox[node] lists indices into deliveries that were absorbed in the
-	// node's creating batch; extIn likewise for externals.
-	inbox map[BasicNode][]int
+	// nodeOff[p-1] is the flat-id offset of process p's nodes: node (p, k)
+	// has flat id nodeOff[p-1]+k. nodeOff has n+1 entries; the last is the
+	// total node count.
+	nodeOff []int32
+
+	// inbox[flat(node)] is the contiguous range of deliveries absorbed in
+	// the node's creating batch (deliveries are sorted by receive batch);
+	// extIn likewise lists indices into externals.
+	inbox []span
 	extIn map[BasicNode][]int
 
-	// sent[from][to] is the index into deliveries of the message sent at
+	// sent[{from, to}] is the index into deliveries of the message sent at
 	// node from to process to, if it was delivered within the horizon.
-	sent map[BasicNode]map[model.ProcID]int
+	sent map[sentKey]int
 
 	pending []Pending
 }
+
+// flat returns the node's index into flat per-node tables; the caller must
+// ensure the node appears in the run.
+func (r *Run) flat(b BasicNode) int32 { return r.nodeOff[b.Proc-1] + int32(b.Index) }
 
 // Errors reported by run construction and validation.
 var (
@@ -169,11 +190,12 @@ func (r *Run) PendingMessages() []Pending { return r.pending }
 
 // Inbox returns the deliveries absorbed by the batch that created node b.
 func (r *Run) Inbox(b BasicNode) []Delivery {
-	idxs := r.inbox[b]
-	ds := make([]Delivery, len(idxs))
-	for i, idx := range idxs {
-		ds[i] = r.deliveries[idx]
+	if !r.Appears(b) {
+		return []Delivery{}
 	}
+	sp := r.inbox[r.flat(b)]
+	ds := make([]Delivery, sp.hi-sp.lo)
+	copy(ds, r.deliveries[sp.lo:sp.hi])
 	return ds
 }
 
@@ -192,11 +214,7 @@ func (r *Run) ExternalsAt(b BasicNode) []External {
 // process to, and false if that message is still pending (or from never
 // sends, i.e. it is initial).
 func (r *Run) DeliveryFrom(from BasicNode, to model.ProcID) (Delivery, bool) {
-	m, ok := r.sent[from]
-	if !ok {
-		return Delivery{}, false
-	}
-	idx, ok := m[to]
+	idx, ok := r.sent[sentKey{from: from, to: to}]
 	if !ok {
 		return Delivery{}, false
 	}

@@ -46,7 +46,8 @@ func (r *Run) Validate() error {
 	for _, p := range net.Procs() {
 		for k := 0; k <= r.LastIndex(p); k++ {
 			b := BasicNode{Proc: p, Index: k}
-			receipts := len(r.inbox[b]) + len(r.extIn[b])
+			sp := r.inbox[r.flat(b)]
+			receipts := int(sp.hi-sp.lo) + len(r.extIn[b])
 			if k == 0 && receipts != 0 {
 				return fmt.Errorf("run: initial node %s has %d receipts", b, receipts)
 			}

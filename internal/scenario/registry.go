@@ -1,0 +1,55 @@
+package scenario
+
+import "sort"
+
+// Registry returns the canonical scenario catalogue keyed by name: the
+// paper's figures plus the motivating domain examples. x overrides each
+// task's required separation (and the domain hold/lead times); 0 keeps every
+// scenario's default. The catalogue is rebuilt on each call, so callers may
+// mutate the returned scenarios freely.
+func Registry(x int) map[string]*Scenario {
+	f1 := DefaultFigure1()
+	f2 := DefaultFigure2()
+	f4 := DefaultFigure4()
+	if x != 0 {
+		f1.X, f2.X, f4.X = x, x, x
+	}
+	hold := 3
+	lead := 4
+	holdCirc := 6
+	if x != 0 {
+		hold, lead, holdCirc = x, x, x
+	}
+	return map[string]*Scenario{
+		"figure1":  Figure1(f1),
+		"figure2a": Figure2a(f2),
+		"figure2b": Figure2b(f2),
+		"figure3":  Figure3(DefaultFigure3()),
+		"figure4":  Figure4(f4),
+		"figure6":  Figure6(2, 5),
+		"trains":   Trains(hold),
+		"takeoff":  Takeoff(lead),
+		"circuits": Circuits(holdCirc),
+	}
+}
+
+// Names returns the registry's scenario names in sorted order.
+func Names(reg map[string]*Scenario) []string {
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registry's scenarios in sorted-name order — the
+// deterministic enumeration a sweep over the full catalogue uses.
+func All(reg map[string]*Scenario) []*Scenario {
+	names := Names(reg)
+	scs := make([]*Scenario, len(names))
+	for i, n := range names {
+		scs[i] = reg[n]
+	}
+	return scs
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/trace"
+)
+
+// TestSimulateByteIdenticalPerSeed pins full determinism: two simulations
+// from the same seed must serialize to byte-identical recordings — not just
+// equal delivery multisets, but identical node tables, orderings and pending
+// sets.
+func TestSimulateByteIdenticalPerSeed(t *testing.T) {
+	net := model.MustComplete(5, 1, 6)
+	for _, seed := range []int64{1, 7, 12345} {
+		record := func() []byte {
+			r, err := Simulate(Config{
+				Net: net, Horizon: 40, Policy: NewRandom(seed),
+				Externals: GoAt(2, 3, "go"),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := trace.WriteRun(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		if a, b := record(), record(); !bytes.Equal(a, b) {
+			t.Errorf("seed %d: two simulations serialized differently", seed)
+		}
+	}
+}
+
+// TestSimulateAllocationGuard keeps the hot loop allocation-light: the
+// schedule buckets, received marks and run indexes must not regress to
+// per-tick or per-node map churn. The fixture floods a complete 4-process
+// network for 40 ticks; the bound has slack over the measured count but sits
+// far below the pre-optimization cost (thousands of allocations).
+func TestSimulateAllocationGuard(t *testing.T) {
+	net := model.MustComplete(4, 1, 5)
+	cfg := Config{Net: net, Horizon: 40, Policy: Lazy{}, Externals: GoAt(1, 1, "go")}
+	const limit = 100
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := Simulate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > limit {
+		t.Errorf("Simulate allocates %.0f times per run, want <= %d", got, limit)
+	}
+}

@@ -47,12 +47,12 @@ func Simulate(cfg Config) (*run.Run, error) {
 		policy = Eager{}
 	}
 
-	// arrivals[t] lists internal messages scheduled to arrive at time t.
-	type arrival struct {
-		s Send
-	}
-	arrivals := make(map[model.Time][]arrival)
-	extAt := make(map[model.Time][]run.ExternalEvent)
+	// arrivals[t] lists internal messages scheduled to arrive at time t:
+	// horizon-indexed slice buckets rather than a map, with consumed bucket
+	// backing recycled through a freelist to keep the hot loop allocation-
+	// light.
+	arrivals := make([][]Send, cfg.Horizon+1)
+	extAt := make([][]run.ExternalEvent, cfg.Horizon+1)
 	for _, ev := range cfg.Externals {
 		if !cfg.Net.ValidProc(ev.Proc) {
 			return nil, fmt.Errorf("%w: external %q to process %d", ErrBadConfig, ev.Label, ev.Proc)
@@ -65,6 +65,8 @@ func Simulate(cfg Config) (*run.Run, error) {
 	}
 
 	bl := run.NewBuilder(cfg.Net, cfg.Horizon)
+	n := cfg.Net.N()
+	var free [][]Send
 
 	// send floods the history of process p at time t on all outgoing
 	// channels, scheduling each delivery per the policy.
@@ -80,31 +82,51 @@ func Simulate(cfg Config) (*run.Run, error) {
 			if rt > cfg.Horizon {
 				continue // in transit at the horizon; recorded as pending
 			}
-			arrivals[rt] = append(arrivals[rt], arrival{s: s})
+			if arrivals[rt] == nil {
+				if len(free) > 0 {
+					arrivals[rt] = free[len(free)-1]
+					free = free[:len(free)-1]
+				} else {
+					arrivals[rt] = make([]Send, 0, len(cfg.Net.Out(p)))
+				}
+			}
+			arrivals[rt] = append(arrivals[rt], s)
 		}
 		return nil
 	}
 
+	// received[p] marks processes that got something this tick; reused
+	// across ticks and cleared entry by entry in the flooding pass.
+	received := make([]bool, n+1)
 	for t := model.Time(1); t <= cfg.Horizon; t++ {
-		received := make(map[model.ProcID]bool)
-		for _, a := range arrivals[t] {
+		active := false
+		for _, s := range arrivals[t] {
 			bl.Message(run.MessageEvent{
-				FromProc: a.s.From,
-				ToProc:   a.s.To,
-				SendTime: a.s.SendTime,
+				FromProc: s.From,
+				ToProc:   s.To,
+				SendTime: s.SendTime,
 				RecvTime: t,
 			})
-			received[a.s.To] = true
+			received[s.To] = true
+			active = true
 		}
-		delete(arrivals, t)
+		if arrivals[t] != nil {
+			free = append(free, arrivals[t][:0])
+			arrivals[t] = nil
+		}
 		for _, ev := range extAt[t] {
 			bl.External(ev)
 			received[ev.Proc] = true
+			active = true
+		}
+		if !active {
+			continue
 		}
 		// Every process that received something transitions to a new node
 		// and floods. Iterate in process order for determinism.
-		for _, p := range cfg.Net.Procs() {
+		for p := model.ProcID(1); int(p) <= n; p++ {
 			if received[p] {
+				received[p] = false
 				if err := send(p, t); err != nil {
 					return nil, err
 				}

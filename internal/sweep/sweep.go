@@ -1,0 +1,234 @@
+// Package sweep runs scenario × policy × seed grids of FFIP simulations
+// concurrently and aggregates their outcomes. It is the batch engine behind
+// `zigzag-sim -sweep`: a worker pool sized to GOMAXPROCS executes every cell
+// of the grid, while results and aggregates are reported in the grid's
+// deterministic enumeration order (scenario-major, then policy, then seed)
+// regardless of the number of workers.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"github.com/clockless/zigzag/internal/scenario"
+	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/stats"
+)
+
+// ErrEmptyGrid reports a grid with no cells to run.
+var ErrEmptyGrid = errors.New("sweep: empty grid")
+
+// PolicySpec names a delivery-policy family and constructs a fresh instance
+// per cell. Stateful policies (sim.Random) must not be shared across cells,
+// so the grid carries factories rather than policy values.
+type PolicySpec struct {
+	Name string
+	New  func(seed int64) sim.Policy
+}
+
+// DefaultPolicies returns the canonical policy families: the two latency
+// extremes and the seeded uniform-random environment.
+func DefaultPolicies() []PolicySpec {
+	return []PolicySpec{
+		{Name: "eager", New: func(int64) sim.Policy { return sim.Eager{} }},
+		{Name: "lazy", New: func(int64) sim.Policy { return sim.Lazy{} }},
+		{Name: "random", New: func(seed int64) sim.Policy { return sim.NewRandom(seed) }},
+	}
+}
+
+// Grid is a scenario × policy × seed sweep specification.
+type Grid struct {
+	Scenarios []*scenario.Scenario
+	Policies  []PolicySpec
+	Seeds     []int64
+	// Workers bounds concurrent cells; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Size returns the number of cells in the grid.
+func (g Grid) Size() int { return len(g.Scenarios) * len(g.Policies) * len(g.Seeds) }
+
+// Result records the outcome of one grid cell. A cell that fails to
+// simulate (or whose protocol run fails) carries the error in Err with the
+// remaining metric fields zero.
+type Result struct {
+	Scenario string
+	Policy   string
+	Seed     int64
+	Err      error
+
+	// Run shape.
+	Nodes      int
+	Deliveries int
+	Pending    int
+
+	// Coordination outcome, when the scenario poses a task.
+	HasTask    bool
+	Acted      bool
+	ActTime    int
+	Gap        int
+	KnownBound int
+}
+
+// Run executes every cell of the grid across a worker pool and returns the
+// results in enumeration order: scenario-major, then policy, then seed. The
+// output is deterministic in the grid (worker count and scheduling do not
+// affect it); per-cell failures are recorded in Result.Err rather than
+// aborting the sweep.
+func (g Grid) Run() ([]Result, error) {
+	if g.Size() == 0 {
+		return nil, ErrEmptyGrid
+	}
+	for _, sc := range g.Scenarios {
+		if sc == nil {
+			return nil, fmt.Errorf("sweep: nil scenario in grid")
+		}
+	}
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > g.Size() {
+		workers = g.Size()
+	}
+
+	results := make([]Result, g.Size())
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = g.cell(i)
+			}
+		}()
+	}
+	for i := range results {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, nil
+}
+
+// cell runs the i-th cell of the enumeration.
+func (g Grid) cell(i int) Result {
+	nSeeds, nPols := len(g.Seeds), len(g.Policies)
+	sc := g.Scenarios[i/(nPols*nSeeds)]
+	spec := g.Policies[(i/nSeeds)%nPols]
+	seed := g.Seeds[i%nSeeds]
+
+	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed}
+	r, err := sc.Simulate(spec.New(seed))
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Nodes = r.NumNodes()
+	res.Deliveries = len(r.Deliveries())
+	res.Pending = len(r.PendingMessages())
+	if sc.Task == nil {
+		return res
+	}
+	res.HasTask = true
+	out, err := sc.Task.RunOptimal(r)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Acted = out.Acted
+	if out.Acted {
+		res.ActTime = int(out.ActTime)
+		res.Gap = out.Gap
+		res.KnownBound = out.KnownBound
+	}
+	return res
+}
+
+// Aggregate summarizes all cells of one (scenario, policy) pair.
+type Aggregate struct {
+	Scenario string
+	Policy   string
+	Runs     int
+	Errors   int
+
+	Nodes      stats.Summary
+	Deliveries stats.Summary
+
+	// Coordination tallies over the cells that pose a task.
+	TaskRuns int
+	Acted    int
+	Gap      stats.Summary // over acted cells
+}
+
+// Summarize groups results by (scenario, policy) in first-appearance order
+// — for Grid.Run output, the grid's enumeration order — and computes the
+// per-group aggregates.
+func Summarize(results []Result) []Aggregate {
+	type key struct{ sc, pol string }
+	idx := make(map[key]int)
+	var aggs []Aggregate
+	samples := make(map[key]*struct{ nodes, deliveries, gaps []float64 })
+	for _, res := range results {
+		k := key{res.Scenario, res.Policy}
+		i, ok := idx[k]
+		if !ok {
+			i = len(aggs)
+			idx[k] = i
+			aggs = append(aggs, Aggregate{Scenario: res.Scenario, Policy: res.Policy})
+			samples[k] = &struct{ nodes, deliveries, gaps []float64 }{}
+		}
+		a, s := &aggs[i], samples[k]
+		a.Runs++
+		if res.Err != nil {
+			a.Errors++
+			continue
+		}
+		s.nodes = append(s.nodes, float64(res.Nodes))
+		s.deliveries = append(s.deliveries, float64(res.Deliveries))
+		if res.HasTask {
+			a.TaskRuns++
+			if res.Acted {
+				a.Acted++
+				s.gaps = append(s.gaps, float64(res.Gap))
+			}
+		}
+	}
+	for i := range aggs {
+		s := samples[key{aggs[i].Scenario, aggs[i].Policy}]
+		aggs[i].Nodes = stats.Summarize(s.nodes)
+		aggs[i].Deliveries = stats.Summarize(s.deliveries)
+		aggs[i].Gap = stats.Summarize(s.gaps)
+	}
+	return aggs
+}
+
+// Table renders aggregates as an aligned text table, one row per
+// (scenario, policy) pair, in the given order.
+func Table(aggs []Aggregate) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]")
+	for _, a := range aggs {
+		acted := "-"
+		gapMean := "-"
+		gapRange := "-"
+		if a.TaskRuns > 0 {
+			acted = fmt.Sprintf("%d/%d", a.Acted, a.TaskRuns)
+			if a.Acted > 0 {
+				gapMean = fmt.Sprintf("%+.2f", a.Gap.Mean)
+				gapRange = fmt.Sprintf("[%+.0f,%+.0f]", a.Gap.Min, a.Gap.Max)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\n",
+			a.Scenario, a.Policy, a.Runs, a.Errors, a.Nodes.Mean, a.Deliveries.Mean,
+			acted, gapMean, gapRange)
+	}
+	tw.Flush()
+	return b.String()
+}

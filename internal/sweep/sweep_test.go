@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/scenario"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+func fullGrid(workers int) Grid {
+	return Grid{
+		Scenarios: scenario.All(scenario.Registry(0)),
+		Policies:  DefaultPolicies(),
+		Seeds:     []int64{1, 2, 3},
+		Workers:   workers,
+	}
+}
+
+// TestRunReproducibleAcrossWorkerCounts pins the sweep contract: the result
+// slice over the full registry is identical whether cells run sequentially
+// or across GOMAXPROCS workers.
+func TestRunReproducibleAcrossWorkerCounts(t *testing.T) {
+	seq, err := fullGrid(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := fullGrid(runtime.GOMAXPROCS(0)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("cell %d failed: seq=%v par=%v", i, seq[i].Err, par[i].Err)
+		}
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("cell %d differs:\n  1 worker:  %+v\n  parallel:  %+v", i, seq[i], par[i])
+		}
+	}
+	if !reflect.DeepEqual(Summarize(seq), Summarize(par)) {
+		t.Error("aggregates differ across worker counts")
+	}
+}
+
+// TestRunEnumerationOrder checks results come back scenario-major, then
+// policy, then seed, independent of scheduling.
+func TestRunEnumerationOrder(t *testing.T) {
+	g := fullGrid(0)
+	results, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != g.Size() {
+		t.Fatalf("got %d results, want %d", len(results), g.Size())
+	}
+	i := 0
+	for _, sc := range g.Scenarios {
+		for _, pol := range g.Policies {
+			for _, seed := range g.Seeds {
+				res := results[i]
+				if res.Scenario != sc.Name || res.Policy != pol.Name || res.Seed != seed {
+					t.Fatalf("result %d is (%s,%s,%d), want (%s,%s,%d)",
+						i, res.Scenario, res.Policy, res.Seed, sc.Name, pol.Name, seed)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestRunOutcomes sanity-checks the aggregated metrics on a known scenario:
+// figure2b coordinates under every policy, and lazy delivery acts no
+// earlier than eager.
+func TestRunOutcomes(t *testing.T) {
+	reg := scenario.Registry(0)
+	g := Grid{
+		Scenarios: []*scenario.Scenario{reg["figure2b"]},
+		Policies:  DefaultPolicies(),
+		Seeds:     []int64{1, 2, 3, 4},
+	}
+	results, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := Summarize(results)
+	if len(aggs) != len(g.Policies) {
+		t.Fatalf("got %d aggregates, want %d", len(aggs), len(g.Policies))
+	}
+	byPolicy := make(map[string]Aggregate)
+	for _, a := range aggs {
+		if a.Errors != 0 {
+			t.Fatalf("%s/%s: %d errors", a.Scenario, a.Policy, a.Errors)
+		}
+		if a.Acted != a.TaskRuns {
+			t.Errorf("%s/%s: acted %d/%d, want all", a.Scenario, a.Policy, a.Acted, a.TaskRuns)
+		}
+		byPolicy[a.Policy] = a
+	}
+	if e, l := byPolicy["eager"], byPolicy["lazy"]; e.Gap.Mean > l.Gap.Mean {
+		t.Errorf("eager gap %.2f > lazy gap %.2f", e.Gap.Mean, l.Gap.Mean)
+	}
+}
+
+func TestRunEmptyGrid(t *testing.T) {
+	if _, err := (Grid{}).Run(); !errors.Is(err, ErrEmptyGrid) {
+		t.Errorf("got %v, want ErrEmptyGrid", err)
+	}
+}
+
+func TestRunRejectsNilScenario(t *testing.T) {
+	g := Grid{
+		Scenarios: []*scenario.Scenario{nil},
+		Policies:  DefaultPolicies(),
+		Seeds:     []int64{1},
+	}
+	if _, err := g.Run(); err == nil {
+		t.Error("nil scenario accepted")
+	}
+}
+
+// TestCellRecordsErrors checks a failing cell is reported in-place instead
+// of aborting the sweep.
+func TestCellRecordsErrors(t *testing.T) {
+	reg := scenario.Registry(0)
+	bad := Grid{
+		Scenarios: []*scenario.Scenario{reg["figure1"]},
+		Policies: []PolicySpec{{
+			Name: "broken",
+			New: func(int64) sim.Policy {
+				return sim.Func{ID: "broken", F: func(sim.Send, model.Bounds) int { return -1 }}
+			},
+		}},
+		Seeds: []int64{1},
+	}
+	results, err := bad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatalf("broken policy not reported: %+v", results)
+	}
+	aggs := Summarize(results)
+	if len(aggs) != 1 || aggs[0].Errors != 1 {
+		t.Errorf("aggregate errors = %+v, want 1", aggs)
+	}
+}
+
+func TestTableDeterministic(t *testing.T) {
+	results, err := fullGrid(0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Table(Summarize(results))
+	if !strings.Contains(tab, "figure2b") || !strings.Contains(tab, "lazy") {
+		t.Fatalf("table missing expected rows:\n%s", tab)
+	}
+	results2, err := fullGrid(0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2 := Table(Summarize(results2)); tab != tab2 {
+		t.Error("two sweeps rendered different tables")
+	}
+}
