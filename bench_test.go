@@ -373,9 +373,12 @@ func BenchmarkScalingSimulate(b *testing.B) {
 	}
 }
 
-// BenchmarkScalingBasicGraph (B1): GB construction vs network size.
+// BenchmarkScalingBasicGraph (B1): GB construction vs network size. The
+// construction is dense (degree-counted CSR-style adjacency, no per-edge
+// metadata), so allocs/op must stay constant as n grows — guarded by
+// TestNewBasicAllocationGuard in internal/bounds.
 func BenchmarkScalingBasicGraph(b *testing.B) {
-	for _, n := range []int{4, 8, 16, 32} {
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			cfg := workload.DefaultConfig(int64(n))
 			cfg.Procs = n
@@ -399,7 +402,7 @@ func BenchmarkScalingBasicGraph(b *testing.B) {
 // BenchmarkScalingKnowledge (B1): extended graph + knowledge query vs
 // network size — the per-decision cost of Protocol 2.
 func BenchmarkScalingKnowledge(b *testing.B) {
-	for _, n := range []int{4, 8, 16, 32} {
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			cfg := workload.DefaultConfig(int64(n))
 			cfg.Procs = n

@@ -2,13 +2,14 @@
 // timeline, the coordination outcome and the justifying zigzag pattern.
 // With -sweep it instead runs the full scenario registry as a
 // scenario × policy × seed grid across a worker pool and prints the
-// aggregate table.
+// aggregates — as an aligned table by default, or as CSV/JSON via -format
+// for feeding figure scripts.
 //
 // Usage:
 //
 //	zigzag-sim [-scenario name] [-policy eager|lazy|random] [-seed n]
 //	           [-x n] [-timeline n] [-list] [-dump file]
-//	zigzag-sim -sweep [-seeds n] [-workers n] [-x n]
+//	zigzag-sim -sweep [-seeds n] [-workers n] [-x n] [-format table|csv|json]
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		doSweep  = flag.Bool("sweep", false, "sweep the full registry under every policy and print the aggregate table")
 		seeds    = flag.Int("seeds", 8, "number of seeds per (scenario, policy) cell in a sweep")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
+		format   = flag.String("format", "table", "sweep output format: table, csv or json")
 	)
 	flag.Parse()
 	all := scenario.Registry(*x)
@@ -47,7 +49,11 @@ func main() {
 		return
 	}
 	if *doSweep {
-		if err := runSweep(all, *seeds, *workers); err != nil {
+		if !sweep.ValidFormat(*format) {
+			fmt.Fprintf(os.Stderr, "unknown output format %q (want table, csv or json)\n", *format)
+			os.Exit(2)
+		}
+		if err := runSweep(all, *seeds, *workers, *format); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -141,8 +147,10 @@ func main() {
 }
 
 // runSweep runs the full registry × policy × seed grid and prints the
-// aggregate table in deterministic order.
-func runSweep(all map[string]*scenario.Scenario, seeds, workers int) error {
+// aggregates in deterministic order, in the requested format. The banner is
+// only printed for the human-readable table so that csv/json output can be
+// piped straight into figure scripts.
+func runSweep(all map[string]*scenario.Scenario, seeds, workers int, format string) error {
 	if seeds < 1 {
 		return fmt.Errorf("sweep needs at least one seed, got %d", seeds)
 	}
@@ -159,9 +167,13 @@ func runSweep(all map[string]*scenario.Scenario, seeds, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sweep: %d scenarios x %d policies x %d seeds = %d runs\n\n",
-		len(grid.Scenarios), len(grid.Policies), len(grid.Seeds), grid.Size())
-	fmt.Print(sweep.Table(sweep.Summarize(results)))
+	if format == "" || format == "table" {
+		fmt.Printf("sweep: %d scenarios x %d policies x %d seeds = %d runs\n\n",
+			len(grid.Scenarios), len(grid.Policies), len(grid.Seeds), grid.Size())
+	}
+	if err := sweep.Write(os.Stdout, format, sweep.Summarize(results)); err != nil {
+		return err
+	}
 	failed := 0
 	for _, res := range results {
 		if res.Err != nil {

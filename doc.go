@@ -48,15 +48,20 @@
 //
 // # Scenarios and sweeps
 //
-// The canonical instances — the paper's figures plus the trains, takeoff
-// and circuits domains — live in internal/scenario and are enumerated by
-// its Registry. internal/sweep runs scenario × policy × seed grids of
-// simulations across a GOMAXPROCS worker pool and aggregates run shapes and
-// coordination outcomes deterministically (results are independent of the
-// worker count); `zigzag-sim -sweep` is the CLI front end. The simulator
-// itself is allocation-light: the event schedule and the run indexes are
-// horizon-indexed slices rather than maps, guarded by allocation-budget
-// tests in internal/sim.
+// The canonical instances — the paper's figures, the trains, takeoff and
+// circuits domains, and a seeded family of random topologies — live in
+// internal/scenario and are enumerated by its Registry. internal/sweep runs
+// scenario × policy × seed grids of simulations across a GOMAXPROCS worker
+// pool and aggregates run shapes and coordination outcomes deterministically
+// (results are independent of the worker count); `zigzag-sim -sweep` is the
+// CLI front end, with -format table|csv|json for feeding figure scripts.
+//
+// The hot paths are dense and allocation-light: networks index their
+// channels by integer ChanID with flat arc tables and CSR-style adjacency,
+// the simulator's event schedule and the run indexes are horizon-indexed
+// slices rather than maps, and the bounds graphs are built over exact
+// degree counts with no per-edge metadata — all guarded by
+// allocation-budget tests in internal/sim and internal/bounds.
 //
 // The implementation details live in internal packages; this package
 // re-exports the stable API. See DESIGN.md for the system inventory and

@@ -13,58 +13,78 @@ import (
 // graph at hand.
 var ErrNotInGraph = errors.New("bounds: node not in graph")
 
-// edgeKey disambiguates parallel edges for metadata lookup.
-type edgeKey struct {
-	u, v, w int
-}
-
 // Basic is the basic bounds graph GB(r) of Definition 8: vertices are the
 // basic nodes appearing in r; edges are successor edges of weight 1 and, per
 // message delivery, a forward edge of weight L and a backward edge of weight
 // -U. Every path encodes a sound timed-precedence constraint (Lemma 1), and
 // a longest path is the tightest constraint the run's communication pattern
 // supports (the heart of Theorem 2).
+//
+// The graph is a static structure over a fixed run, so it is built densely:
+// vertex ids are precomputed per-process offsets plus node indices, the
+// degree of every vertex is counted up front so the adjacency lists are
+// carved from shared backing arrays, and no per-edge metadata is stored —
+// the Step semantics of an edge (u, v, w) are fully determined by the vertex
+// ids and the weight, so they are derived on demand for the (short) queried
+// paths instead of being materialized for every edge.
 type Basic struct {
 	r      *run.Run
 	g      *graph.Graph
 	offset []int // offset[p-1]: first vertex id of process p's nodes
-	meta   map[edgeKey]Step
 }
 
-// NewBasic constructs GB(r).
+// NewBasic constructs GB(r) in two passes: an exact degree count, then edge
+// insertion into presized adjacency — O(1) allocations beyond the vertex
+// tables regardless of run size.
 func NewBasic(r *run.Run) *Basic {
 	net := r.Net()
-	b := &Basic{r: r, offset: make([]int, net.N()), meta: make(map[edgeKey]Step)}
+	n := net.N()
+	b := &Basic{r: r, offset: make([]int, n)}
 	total := 0
-	for _, p := range net.Procs() {
+	for p := model.ProcID(1); int(p) <= n; p++ {
 		b.offset[p-1] = total
 		total += r.LastIndex(p) + 1
 	}
-	b.g = graph.New(total)
 
-	// Successor edges.
-	for _, p := range net.Procs() {
+	// Pass 1: count degrees. Each timeline contributes LastIndex successor
+	// edges; each delivery contributes one forward and one backward edge.
+	out := make([]int32, total)
+	in := make([]int32, total)
+	for p := model.ProcID(1); int(p) <= n; p++ {
+		off := b.offset[p-1]
 		for k := 0; k < r.LastIndex(p); k++ {
-			u := run.BasicNode{Proc: p, Index: k}
-			v := u.Successor()
-			b.addEdge(StepSucc, NodePoint(run.At(u)), NodePoint(run.At(v)), 1)
+			out[off+k]++
+			in[off+k+1]++
 		}
 	}
-	// Message edges.
-	for _, d := range r.Deliveries() {
-		ch := d.Channel()
-		bd, _ := net.ChanBounds(ch.From, ch.To)
-		b.addEdge(StepLower, NodePoint(run.At(d.From)), NodePoint(run.At(d.To)), bd.Lower)
-		b.addEdge(StepUpper, NodePoint(run.At(d.To)), NodePoint(run.At(d.From)), -bd.Upper)
+	ds := r.Deliveries()
+	for i := range ds {
+		u := b.offset[ds[i].From.Proc-1] + ds[i].From.Index
+		v := b.offset[ds[i].To.Proc-1] + ds[i].To.Index
+		out[u]++
+		in[v]++
+		out[v]++
+		in[u]++
+	}
+	b.g = graph.NewWithDegrees(out, in)
+
+	// Pass 2: insert edges (successors first, then per-delivery pairs — the
+	// same order as the historical construction, preserving adjacency order
+	// and hence path reconstruction exactly).
+	for p := model.ProcID(1); int(p) <= n; p++ {
+		off := b.offset[p-1]
+		for k := 0; k < r.LastIndex(p); k++ {
+			b.g.AddEdge(off+k, off+k+1, 1)
+		}
+	}
+	for i := range ds {
+		u := b.offset[ds[i].From.Proc-1] + ds[i].From.Index
+		v := b.offset[ds[i].To.Proc-1] + ds[i].To.Index
+		bd := net.BoundsOf(ds[i].Chan)
+		b.g.AddEdge(u, v, bd.Lower)
+		b.g.AddEdge(v, u, -bd.Upper)
 	}
 	return b
-}
-
-func (b *Basic) addEdge(kind StepKind, from, to Point, w int) {
-	u := b.mustVertex(from.Node.Base)
-	v := b.mustVertex(to.Node.Base)
-	b.g.AddEdge(u, v, w)
-	b.meta[edgeKey{u, v, w}] = Step{Kind: kind, From: from, To: to, Weight: w}
 }
 
 // Run returns the underlying run.
@@ -87,14 +107,6 @@ func (b *Basic) Vertex(n run.BasicNode) (int, error) {
 	return b.offset[n.Proc-1] + n.Index, nil
 }
 
-func (b *Basic) mustVertex(n run.BasicNode) int {
-	v, err := b.Vertex(n)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
 // NodeOf inverts Vertex.
 func (b *Basic) NodeOf(v int) run.BasicNode {
 	for i := len(b.offset) - 1; i >= 0; i-- {
@@ -105,6 +117,39 @@ func (b *Basic) NodeOf(v int) run.BasicNode {
 	panic(fmt.Sprintf("bounds: vertex %d out of range", v))
 }
 
+// stepAt materializes the Step semantics of the edge (u, v, w), verifying
+// that such an edge exists. In GB(r) the classification is forced: an edge
+// between nodes of one process is a successor edge, and a cross-process edge
+// is a forward (message) edge iff its weight is positive.
+func (b *Basic) stepAt(u, v, w int) (Step, bool) {
+	exists := false
+	for _, e := range b.g.Out(u) {
+		if e.To == v && e.Weight == w {
+			exists = true
+			break
+		}
+	}
+	if !exists {
+		return Step{}, false
+	}
+	nu, nv := b.NodeOf(u), b.NodeOf(v)
+	var kind StepKind
+	switch {
+	case nu.Proc == nv.Proc:
+		kind = StepSucc
+	case w > 0:
+		kind = StepLower
+	default:
+		kind = StepUpper
+	}
+	return Step{
+		Kind:   kind,
+		From:   NodePoint(run.At(nu)),
+		To:     NodePoint(run.At(nv)),
+		Weight: w,
+	}, true
+}
+
 // stepsOf reconstructs the Step metadata of a vertex path, using the
 // distance profile to pick the edge actually used between each pair.
 func (b *Basic) stepsOf(path []int, dist []int64) ([]Step, error) {
@@ -112,20 +157,7 @@ func (b *Basic) stepsOf(path []int, dist []int64) ([]Step, error) {
 	for i := 0; i+1 < len(path); i++ {
 		u, v := path[i], path[i+1]
 		w := int(dist[v] - dist[u])
-		st, ok := b.meta[edgeKey{u, v, w}]
-		if !ok {
-			// The tight edge may be heavier than the distance delta when a
-			// non-tight parallel edge exists; scan the adjacency for a
-			// matching recorded edge.
-			for _, e := range b.g.Out(u) {
-				if e.To == v {
-					if s2, ok2 := b.meta[edgeKey{u, v, e.Weight}]; ok2 && e.Weight == w {
-						st, ok = s2, true
-						break
-					}
-				}
-			}
-		}
+		st, ok := b.stepAt(u, v, w)
 		if !ok {
 			return nil, fmt.Errorf("bounds: missing edge metadata %d->%d (w=%d)", u, v, w)
 		}
@@ -151,7 +183,10 @@ func (b *Basic) LongestBetween(sigma1, sigma2 run.BasicNode) (x int, steps []Ste
 	if err != nil {
 		return 0, nil, false, fmt.Errorf("bounds: GB(r) inconsistent: %w", err)
 	}
-	weight, path, ok, err := b.longestPathWithDist(u, v, dist)
+	if dist[v] == graph.NegInf {
+		return 0, nil, false, nil
+	}
+	weight, path, ok, err := b.g.LongestPath(u, v)
 	if err != nil || !ok {
 		return 0, nil, ok, err
 	}
@@ -160,21 +195,6 @@ func (b *Basic) LongestBetween(sigma1, sigma2 run.BasicNode) (x int, steps []Ste
 		return 0, nil, false, err
 	}
 	return int(weight), steps, true, nil
-}
-
-func (b *Basic) longestPathWithDist(u, v int, dist []int64) (int64, []int, bool, error) {
-	if dist[v] == graph.NegInf {
-		return 0, nil, false, nil
-	}
-	// Delegate to the graph's tight-edge reconstruction; recomputing the
-	// distances there is acceptable for clarity, but we already have them,
-	// so use LongestPath directly.
-	return b.longestPathVia(u, v)
-}
-
-func (b *Basic) longestPathVia(u, v int) (int64, []int, bool, error) {
-	w, path, ok, err := b.g.LongestPath(u, v)
-	return w, path, ok, err
 }
 
 // DistancesInto returns, for every basic node, the weight of the longest

@@ -23,21 +23,38 @@ import (
 // VertexOfGeneral adds chain vertices for general nodes whose FFIP chains
 // leave the past, so that the constraint paths of Definitions 17-22 become
 // ordinary graph paths.
+//
+// Like Basic, the construction is dense: vertex ids come from precomputed
+// per-process offsets, adjacency is presized by an exact degree count, and
+// edge Step metadata is derived on demand from the vertex classes (past
+// node / auxiliary / chain) rather than stored per edge.
 type Extended struct {
 	view *run.View
 	past *run.PastSet
 	g    *graph.Graph
 
-	offset  []int // offset[p-1]: first vertex id of p's past nodes
-	auxBase int   // vertex id of psi_1
-	meta    map[edgeKey]Step
+	offset    []int // offset[p-1]: first vertex id of p's past nodes
+	auxBase   int   // vertex id of psi_1
+	chainBase int   // vertex id of the first beyond-horizon chain vertex
 
-	// chainVertices memoizes beyond-horizon chain vertices by their general
-	// node identity so that queried nodes sharing chain prefixes share
-	// vertices (required for the type-4 constraint paths of Definition 20).
-	chainVertices map[string]int
-	chainNodes    map[int]run.GeneralNode
-	extraVerts    int
+	// chainVertices memoizes beyond-horizon chain vertices by (parent
+	// vertex, destination process). A chain vertex stands for the delivery,
+	// at the destination process, of the unique FFIP message sent at its
+	// parent, so the integer pair is a complete identity: queried nodes
+	// sharing chain prefixes share vertices (required for the type-4
+	// constraint paths of Definition 20) without building any string keys.
+	chainVertices map[chainKey]int
+
+	// chainNodes[v-chainBase] names chain vertex v by the general node of
+	// the first query that reached it; every query reaching the vertex
+	// denotes the same node in all runs indistinguishable at sigma.
+	chainNodes []run.GeneralNode
+}
+
+// chainKey identifies a beyond-horizon chain vertex by integers alone.
+type chainKey struct {
+	parent int32
+	to     model.ProcID
 }
 
 // NewExtended constructs GE(r, sigma) from a recorded run.
@@ -53,83 +70,108 @@ func NewExtended(r *run.Run, sigma run.BasicNode) (*Extended, error) {
 // view — the entry point for online (clockless) agents.
 func NewExtendedFromView(view *run.View) (*Extended, error) {
 	net := view.Net()
+	n := net.N()
 	e := &Extended{
 		view:          view,
 		past:          view.PastSet(),
-		offset:        make([]int, net.N()),
-		meta:          make(map[edgeKey]Step),
-		chainVertices: make(map[string]int),
-		chainNodes:    make(map[int]run.GeneralNode),
+		offset:        make([]int, n),
+		chainVertices: make(map[chainKey]int),
 	}
 	total := 0
-	for _, p := range net.Procs() {
+	boundary := make([]int, n) // boundary index of p, or -1 if absent
+	for p := model.ProcID(1); int(p) <= n; p++ {
 		e.offset[p-1] = total
+		boundary[p-1] = -1
 		if bnd, ok := view.Boundary(p); ok {
+			boundary[p-1] = bnd.Index
 			total += bnd.Index + 1
 		}
 	}
 	e.auxBase = total
-	total += net.N()
-	e.g = graph.New(total)
+	total += n
+	e.chainBase = total
 
-	// Induced GB(r, sigma) edges (Definition 14).
-	for _, p := range net.Procs() {
-		bnd, ok := view.Boundary(p)
-		if !ok {
-			continue
-		}
-		for k := 0; k < bnd.Index; k++ {
-			u := run.BasicNode{Proc: p, Index: k}
-			e.addEdge(StepSucc, NodePoint(run.At(u)), NodePoint(run.At(u.Successor())), 1)
+	deliveries := view.Deliveries()
+	leaving := view.Leaving()
+	arcs := net.Arcs()
+
+	// Pass 1: exact degree counts for the four edge families of
+	// Definition 16 — induced GB(r, sigma) (successors + per-delivery
+	// pairs), E' (boundary -> psi), E'' (psi -> leaving sender) and E'''
+	// (psi -> psi per channel).
+	out := make([]int32, total)
+	in := make([]int32, total)
+	for p := 1; p <= n; p++ {
+		off := e.offset[p-1]
+		for k := 0; k < boundary[p-1]; k++ {
+			out[off+k]++
+			in[off+k+1]++
 		}
 	}
-	for _, d := range view.Deliveries() {
+	for i := range deliveries {
+		if deliveries[i].Chan == model.NoChan {
+			// A view assembled online can record a receipt over a channel
+			// the network does not model; surface it as the error the
+			// map-based construction used to return.
+			ch := deliveries[i].Channel()
+			return nil, fmt.Errorf("%w: %d->%d", model.ErrNoChannel, ch.From, ch.To)
+		}
+		u := e.offset[deliveries[i].From.Proc-1] + deliveries[i].From.Index
+		v := e.offset[deliveries[i].To.Proc-1] + deliveries[i].To.Index
+		out[u]++
+		in[v]++
+		out[v]++
+		in[u]++
+	}
+	for p := 1; p <= n; p++ {
+		if k := boundary[p-1]; k >= 0 {
+			out[e.offset[p-1]+k]++
+			in[e.auxBase+p-1]++
+		}
+	}
+	for i := range leaving {
+		out[e.auxBase+int(leaving[i].To)-1]++
+		in[e.offset[leaving[i].From.Proc-1]+leaving[i].From.Index]++
+	}
+	for i := range arcs {
+		out[e.auxBase+int(arcs[i].To)-1]++
+		in[e.auxBase+int(arcs[i].From)-1]++
+	}
+	e.g = graph.NewWithDegrees(out, in)
+
+	// Pass 2: insert edges in the historical order (induced successors,
+	// induced message pairs, E', E'', E''') so adjacency order — and hence
+	// path reconstruction — is unchanged.
+	for p := 1; p <= n; p++ {
+		off := e.offset[p-1]
+		for k := 0; k < boundary[p-1]; k++ {
+			e.g.AddEdge(off+k, off+k+1, 1)
+		}
+	}
+	for i := range deliveries {
 		// p-closedness of the past: the sender of a message received inside
 		// the past is inside the past.
-		ch := d.Channel()
-		bd, err := net.ChanBounds(ch.From, ch.To)
-		if err != nil {
-			return nil, err
-		}
-		e.addEdge(StepLower, NodePoint(run.At(d.From)), NodePoint(run.At(d.To)), bd.Lower)
-		e.addEdge(StepUpper, NodePoint(run.At(d.To)), NodePoint(run.At(d.From)), -bd.Upper)
+		u := e.offset[deliveries[i].From.Proc-1] + deliveries[i].From.Index
+		v := e.offset[deliveries[i].To.Proc-1] + deliveries[i].To.Index
+		bd := net.BoundsOf(deliveries[i].Chan)
+		e.g.AddEdge(u, v, bd.Lower)
+		e.g.AddEdge(v, u, -bd.Upper)
 	}
-
-	// E': boundary_i -> psi_i, weight 1.
-	for _, p := range net.Procs() {
-		if bnd, ok := view.Boundary(p); ok {
-			e.addEdge(StepAuxEnter, NodePoint(run.At(bnd)), AuxPoint(p), 1)
+	for p := 1; p <= n; p++ {
+		if k := boundary[p-1]; k >= 0 {
+			e.g.AddEdge(e.offset[p-1]+k, e.auxBase+p-1, 1)
 		}
 	}
-	// E'': psi_j -> sigma_i for messages leaving the past, weight -U_ij.
-	for _, pend := range view.Leaving() {
-		u := net.Upper(pend.From.Proc, pend.To)
-		e.addEdge(StepAuxExit, AuxPoint(pend.To), NodePoint(run.At(pend.From)), -u)
+	for i := range leaving {
+		u := net.BoundsOf(leaving[i].Chan).Upper
+		e.g.AddEdge(e.auxBase+int(leaving[i].To)-1,
+			e.offset[leaving[i].From.Proc-1]+leaving[i].From.Index, -u)
 	}
-	// E''': psi_j -> psi_i for every channel (i, j), weight -U_ij.
-	for _, ch := range net.Channels() {
-		u := net.Upper(ch.From, ch.To)
-		e.addEdge(StepAuxHop, AuxPoint(ch.To), AuxPoint(ch.From), -u)
+	for i := range arcs {
+		e.g.AddEdge(e.auxBase+int(arcs[i].To)-1, e.auxBase+int(arcs[i].From)-1,
+			-arcs[i].Bounds.Upper)
 	}
 	return e, nil
-}
-
-func (e *Extended) addEdge(kind StepKind, from, to Point, w int) {
-	u := e.mustVertexOfPoint(from)
-	v := e.mustVertexOfPoint(to)
-	e.g.AddEdge(u, v, w)
-	e.meta[edgeKey{u, v, w}] = Step{Kind: kind, From: from, To: to, Weight: w}
-}
-
-func (e *Extended) mustVertexOfPoint(pt Point) int {
-	if pt.Aux {
-		return e.auxBase + int(pt.Proc) - 1
-	}
-	v, err := e.VertexOfPast(pt.Node.Base)
-	if err != nil {
-		panic(err)
-	}
-	return v
 }
 
 // Net returns the network.
@@ -162,14 +204,20 @@ func (e *Extended) VertexOfPast(n run.BasicNode) (int, error) {
 // AuxVertex returns the vertex id of psi_p.
 func (e *Extended) AuxVertex(p model.ProcID) int { return e.auxBase + int(p) - 1 }
 
+// isAux reports whether v is an auxiliary horizon vertex.
+func (e *Extended) isAux(v int) bool { return v >= e.auxBase && v < e.chainBase }
+
+// isChain reports whether v is a beyond-horizon chain vertex.
+func (e *Extended) isChain(v int) bool { return v >= e.chainBase }
+
 // PointOf inverts vertex ids back to Points (for introspection and the
 // figure renderings).
 func (e *Extended) PointOf(v int) Point {
-	if v >= e.auxBase && v < e.auxBase+e.view.Net().N() {
+	if e.isAux(v) {
 		return AuxPoint(model.ProcID(v - e.auxBase + 1))
 	}
-	if g, ok := e.chainNodes[v]; ok {
-		return NodePoint(g)
+	if e.isChain(v) {
+		return NodePoint(e.chainNodes[v-e.chainBase])
 	}
 	for i := len(e.offset) - 1; i >= 0; i-- {
 		if v >= e.offset[i] {

@@ -23,8 +23,10 @@ var (
 //
 //	prev --L--> eta,  eta --(-U)--> prev,  psi_proc(eta) --0--> eta,
 //
-// deduplicated across queries so that nodes sharing chain prefixes share
-// vertices (Definition 20's type-4 constraint paths need this).
+// deduplicated across queries by the integer pair (parent vertex, next
+// process) — a complete identity for the delivery the vertex denotes — so
+// that nodes sharing chain prefixes share vertices (Definition 20's type-4
+// constraint paths need this).
 func (e *Extended) VertexOfGeneral(theta run.GeneralNode) (int, error) {
 	if err := theta.Valid(e.view.Net()); err != nil {
 		return 0, err
@@ -46,40 +48,65 @@ func (e *Extended) VertexOfGeneral(theta run.GeneralNode) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	curPoint := NodePoint(run.At(cur))
 	net := e.view.Net()
 	for k := hops + 1; k <= theta.Path.Hops(); k++ {
-		pref := run.Via(theta.Base, theta.Path[:k+1].Clone())
-		key := pref.String()
+		from, to := theta.Path[k-1], theta.Path[k]
+		key := chainKey{parent: int32(curVertex), to: to}
 		next, ok := e.chainVertices[key]
-		nextPoint := NodePoint(pref)
 		if !ok {
 			next = e.g.AddVertex()
 			e.chainVertices[key] = next
-			e.chainNodes[next] = pref
-			e.extraVerts++
-			from, to := theta.Path[k-1], theta.Path[k]
+			e.chainNodes = append(e.chainNodes, run.Via(theta.Base, theta.Path[:k+1].Clone()))
 			bd, berr := net.ChanBounds(from, to)
 			if berr != nil {
 				return 0, berr
 			}
 			e.g.AddEdge(curVertex, next, bd.Lower)
-			e.meta[edgeKey{curVertex, next, bd.Lower}] = Step{
-				Kind: StepLower, From: curPoint, To: nextPoint, Weight: bd.Lower,
-			}
 			e.g.AddEdge(next, curVertex, -bd.Upper)
-			e.meta[edgeKey{next, curVertex, -bd.Upper}] = Step{
-				Kind: StepUpper, From: nextPoint, To: curPoint, Weight: -bd.Upper,
-			}
-			aux := e.AuxVertex(to)
-			e.g.AddEdge(aux, next, 0)
-			e.meta[edgeKey{aux, next, 0}] = Step{
-				Kind: StepAuxChain, From: AuxPoint(to), To: nextPoint, Weight: 0,
-			}
+			e.g.AddEdge(e.AuxVertex(to), next, 0)
 		}
-		curVertex, curPoint = next, nextPoint
+		curVertex = next
 	}
 	return curVertex, nil
+}
+
+// stepAt materializes the Step semantics of the query-graph edge (u, v, w),
+// verifying that such an edge exists. The classification is forced by the
+// vertex classes: edges between auxiliary vertices are horizon hops, edges
+// into/out of the auxiliary band are the E'/E”/chain-anchor families, and
+// the remaining node-to-node edges follow the basic-graph rules (same
+// process: successor; otherwise the sign of the weight separates forward
+// message edges from backward ones).
+func (e *Extended) stepAt(u, v, w int) (Step, bool) {
+	exists := false
+	for _, ed := range e.g.Out(u) {
+		if ed.To == v && ed.Weight == w {
+			exists = true
+			break
+		}
+	}
+	if !exists {
+		return Step{}, false
+	}
+	from, to := e.PointOf(u), e.PointOf(v)
+	var kind StepKind
+	switch {
+	case from.Aux && to.Aux:
+		kind = StepAuxHop
+	case from.Aux && e.isChain(v):
+		kind = StepAuxChain
+	case from.Aux:
+		kind = StepAuxExit
+	case to.Aux:
+		kind = StepAuxEnter
+	case !e.isChain(u) && !e.isChain(v) && from.Node.Proc() == to.Node.Proc():
+		kind = StepSucc
+	case w > 0:
+		kind = StepLower
+	default:
+		kind = StepUpper
+	}
+	return Step{Kind: kind, From: from, To: to, Weight: w}, true
 }
 
 // stepsOf reconstructs Step metadata for a vertex path of the query graph.
@@ -88,7 +115,7 @@ func (e *Extended) stepsOf(path []int, dist []int64) ([]Step, error) {
 	for i := 0; i+1 < len(path); i++ {
 		u, v := path[i], path[i+1]
 		w := int(dist[v] - dist[u])
-		st, ok := e.meta[edgeKey{u, v, w}]
+		st, ok := e.stepAt(u, v, w)
 		if !ok {
 			return nil, fmt.Errorf("bounds: missing edge metadata %d->%d (w=%d)", u, v, w)
 		}

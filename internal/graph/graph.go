@@ -39,6 +39,37 @@ func New(n int) *Graph {
 	return &Graph{adj: make([][]Edge, n), radj: make([][]Edge, n)}
 }
 
+// NewWithDegrees returns an empty graph on len(out) == len(in) vertices whose
+// per-vertex adjacency slices are carved, with exact capacities, out of two
+// shared backing arrays sized by the given out-/in-degree counts. Callers
+// that can count edges up front (the bounds-graph constructions do) then add
+// every edge without a single adjacency reallocation: the whole graph costs
+// O(1) allocations instead of O(V) append churn. AddEdge beyond the declared
+// degree of a vertex — and AddVertex — still work; they simply fall back to
+// ordinary append growth.
+func NewWithDegrees(out, in []int32) *Graph {
+	if len(out) != len(in) {
+		panic(fmt.Sprintf("graph: degree tables disagree: %d vs %d vertices", len(out), len(in)))
+	}
+	n := len(out)
+	g := &Graph{adj: make([][]Edge, n), radj: make([][]Edge, n)}
+	var totalOut, totalIn int32
+	for i := 0; i < n; i++ {
+		totalOut += out[i]
+		totalIn += in[i]
+	}
+	outBacking := make([]Edge, totalOut)
+	inBacking := make([]Edge, totalIn)
+	var oOff, iOff int32
+	for i := 0; i < n; i++ {
+		g.adj[i] = outBacking[oOff : oOff : oOff+out[i]]
+		g.radj[i] = inBacking[iOff : iOff : iOff+in[i]]
+		oOff += out[i]
+		iOff += in[i]
+	}
+	return g
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
 

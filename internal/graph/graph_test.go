@@ -220,3 +220,67 @@ func TestLongestAgainstOracle(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNewWithDegreesMatchesNew pins the presized construction: a graph
+// built over exact degree tables answers every query identically to one
+// built with plain New/AddEdge, and adding edges beyond the declared
+// degrees (or fresh vertices) still works via append growth.
+func TestNewWithDegreesMatchesNew(t *testing.T) {
+	type edge struct{ u, v, w int }
+	edges := []edge{{0, 1, 2}, {1, 3, 5}, {0, 2, 1}, {2, 3, 4}, {3, 4, -3}, {1, 2, 0}}
+	n := 5
+	out := make([]int32, n)
+	in := make([]int32, n)
+	for _, e := range edges {
+		out[e.u]++
+		in[e.v]++
+	}
+	plain, dense := New(n), NewWithDegrees(out, in)
+	for _, e := range edges {
+		plain.AddEdge(e.u, e.v, e.w)
+		dense.AddEdge(e.u, e.v, e.w)
+	}
+	if plain.NumEdges() != dense.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", plain.NumEdges(), dense.NumEdges())
+	}
+	for u := 0; u < n; u++ {
+		dp, err1 := plain.Longest(u)
+		dd, err2 := dense.Longest(u)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Longest(%d): %v / %v", u, err1, err2)
+		}
+		for v := range dp {
+			if dp[v] != dd[v] {
+				t.Errorf("dist %d->%d differs: %d vs %d", u, v, dp[v], dd[v])
+			}
+		}
+	}
+	w1, p1, ok1, err1 := plain.LongestPath(0, 4)
+	w2, p2, ok2, err2 := dense.LongestPath(0, 4)
+	if err1 != nil || err2 != nil || !ok1 || !ok2 || w1 != w2 || len(p1) != len(p2) {
+		t.Fatalf("LongestPath disagrees: (%d,%v,%v,%v) vs (%d,%v,%v,%v)", w1, p1, ok1, err1, w2, p2, ok2, err2)
+	}
+	// Overflow the declared degree of vertex 0 and grow a new vertex.
+	dense.AddEdge(0, 4, 7)
+	fresh := dense.AddVertex()
+	dense.AddEdge(4, fresh, 1)
+	d, err := dense.Longest(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[4] != 7 {
+		t.Errorf("dist to 4 after overflow edge = %d, want 7", d[4])
+	}
+	if d[fresh] != 8 {
+		t.Errorf("dist to fresh vertex = %d, want 8", d[fresh])
+	}
+}
+
+func TestNewWithDegreesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched degree tables did not panic")
+		}
+	}()
+	NewWithDegrees(make([]int32, 2), make([]int32, 3))
+}

@@ -193,13 +193,13 @@ func Run(cfg Config) (*Result, error) {
 			for _, label := range pr.actions {
 				res.Actions = append(res.Actions, Action{Proc: p, Node: pr.node, Time: t, Label: label})
 			}
-			// FFIP flood: schedule the new state's messages.
-			for _, q := range net.Out(p) {
-				bd, _ := net.ChanBounds(p, q)
-				s := sim.Send{From: p, To: q, SendTime: t}
-				lat := policy.Latency(s, bd)
-				if lat < bd.Lower || lat > bd.Upper {
-					return nil, fmt.Errorf("live: policy %q chose latency %d outside %s", policy.Name(), lat, bd)
+			// FFIP flood: schedule the new state's messages straight off the
+			// dense out-arc slice, mirroring the simulator's hot loop.
+			for _, a := range net.OutArcs(p) {
+				s := sim.Send{From: p, To: a.To, SendTime: t}
+				lat := policy.Latency(s, a.Bounds)
+				if lat < a.Bounds.Lower || lat > a.Bounds.Upper {
+					return nil, fmt.Errorf("live: policy %q chose latency %d outside %s", policy.Name(), lat, a.Bounds)
 				}
 				if t+lat > cfg.Horizon {
 					continue
@@ -207,7 +207,7 @@ func Run(cfg Config) (*Result, error) {
 				arrivals[t+lat] = append(arrivals[t+lat], arrival{
 					from:    pr.node,
 					payload: pr.payload,
-					toProc:  q,
+					toProc:  a.To,
 					send:    t,
 				})
 			}

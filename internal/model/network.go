@@ -53,16 +53,53 @@ func (b Bounds) Valid() bool {
 // String renders the bounds as "[L,U]".
 func (b Bounds) String() string { return fmt.Sprintf("[%d,%d]", b.Lower, b.Upper) }
 
+// ChanID is the dense integer id of a channel. Once a network is built its
+// channels are numbered 0..NumChannels()-1 in (From, To) lexicographic order;
+// the ids are stable for the network's lifetime and index flat per-channel
+// tables (BoundsOf, ChannelOf), so hot loops resolve channel metadata with an
+// O(1) slice load instead of a map probe.
+type ChanID int32
+
+// NoChan is the "no such channel" sentinel id.
+const NoChan ChanID = -1
+
+// Arc is one directed channel in dense form: its id, endpoints and bounds.
+// The per-process arc slices returned by OutArcs carry everything the
+// simulator's flooding loop needs in one contiguous read.
+type Arc struct {
+	ID     ChanID
+	From   ProcID
+	To     ProcID
+	Bounds Bounds
+}
+
 // Network is a time-bounded communication network Net = (Procs, Chans)
 // together with the bound functions L, U : Chans -> N. It is immutable once
 // built via a Builder (or the convenience constructors); all accessors are
 // safe for concurrent use.
+//
+// Internally the network is a dense, channel-indexed structure: arcs holds
+// every channel sorted by (From, To) — so a channel's ChanID doubles as its
+// index — and outOff/inOff are CSR-style offset tables slicing the flat
+// adjacency arrays per process. The historical map-flavoured API (HasChan,
+// ChanBounds, Lower, Upper) is retained as thin wrappers over ChanIDOf.
 type Network struct {
-	n        int
-	chans    map[Channel]Bounds
-	outAdj   map[ProcID][]ProcID // sorted
-	inAdj    map[ProcID][]ProcID // sorted
-	channels []Channel           // sorted, for deterministic iteration
+	n    int
+	arcs []Arc // sorted by (From, To); arcs[id].ID == ChanID(id)
+
+	// CSR out-adjacency: process p's arcs are arcs[outOff[p-1]:outOff[p]],
+	// and outTo is the aligned destination column (sorted per process).
+	outOff []int32
+	outTo  []ProcID
+
+	// CSR in-adjacency: process p's incoming arc ids are
+	// inIDs[inOff[p-1]:inOff[p]], with inFrom the aligned source column
+	// (sorted per process).
+	inOff  []int32
+	inIDs  []ChanID
+	inFrom []ProcID
+
+	channels []Channel // aligned with arcs, for Channels()
 	maxUpper int
 	minLower int
 }
@@ -124,7 +161,8 @@ func (b *Builder) BiChan(p, q ProcID, lower, upper int) *Builder {
 	return b.Chan(p, q, lower, upper).Chan(q, p, lower, upper)
 }
 
-// Build finalizes the network.
+// Build finalizes the network: channels are sorted by (From, To), assigned
+// their dense ChanIDs and laid out into the flat arc and CSR offset tables.
 func (b *Builder) Build() (*Network, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -132,18 +170,21 @@ func (b *Builder) Build() (*Network, error) {
 	if b.n < 1 {
 		return nil, ErrNoProcesses
 	}
+	n := b.n
+	m := len(b.chans)
 	net := &Network{
-		n:        b.n,
-		chans:    make(map[Channel]Bounds, len(b.chans)),
-		outAdj:   make(map[ProcID][]ProcID),
-		inAdj:    make(map[ProcID][]ProcID),
+		n:        n,
+		arcs:     make([]Arc, 0, m),
+		outOff:   make([]int32, n+1),
+		outTo:    make([]ProcID, m),
+		inOff:    make([]int32, n+1),
+		inIDs:    make([]ChanID, m),
+		inFrom:   make([]ProcID, m),
+		channels: make([]Channel, 0, m),
 		minLower: Infinity,
 	}
 	for ch, bd := range b.chans {
-		net.chans[ch] = bd
-		net.outAdj[ch.From] = append(net.outAdj[ch.From], ch.To)
-		net.inAdj[ch.To] = append(net.inAdj[ch.To], ch.From)
-		net.channels = append(net.channels, ch)
+		net.arcs = append(net.arcs, Arc{From: ch.From, To: ch.To, Bounds: bd})
 		if bd.Upper > net.maxUpper {
 			net.maxUpper = bd.Upper
 		}
@@ -151,18 +192,38 @@ func (b *Builder) Build() (*Network, error) {
 			net.minLower = bd.Lower
 		}
 	}
-	for _, adj := range net.outAdj {
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
-	}
-	for _, adj := range net.inAdj {
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
-	}
-	sort.Slice(net.channels, func(i, j int) bool {
-		if net.channels[i].From != net.channels[j].From {
-			return net.channels[i].From < net.channels[j].From
+	sort.Slice(net.arcs, func(i, j int) bool {
+		if net.arcs[i].From != net.arcs[j].From {
+			return net.arcs[i].From < net.arcs[j].From
 		}
-		return net.channels[i].To < net.channels[j].To
+		return net.arcs[i].To < net.arcs[j].To
 	})
+	// Assign ids, fill the aligned columns and count degrees.
+	inDeg := make([]int32, n+1)
+	for i := range net.arcs {
+		a := &net.arcs[i]
+		a.ID = ChanID(i)
+		net.outTo[i] = a.To
+		net.channels = append(net.channels, Channel{From: a.From, To: a.To})
+		net.outOff[a.From]++
+		inDeg[a.To]++
+	}
+	for p := 1; p <= n; p++ {
+		net.outOff[p] += net.outOff[p-1]
+		net.inOff[p] = net.inOff[p-1] + inDeg[p]
+	}
+	// Fill in-adjacency. Arcs are From-major with ascending To, so for a
+	// fixed destination the sources arrive in ascending order and each
+	// per-process segment of inFrom ends up sorted.
+	next := make([]int32, n)
+	copy(next, net.inOff[:n])
+	for i := range net.arcs {
+		a := &net.arcs[i]
+		slot := next[a.To-1]
+		next[a.To-1]++
+		net.inIDs[slot] = a.ID
+		net.inFrom[slot] = a.From
+	}
 	return net, nil
 }
 
@@ -190,19 +251,64 @@ func (net *Network) Procs() []ProcID {
 // ValidProc reports whether p is a process of this network.
 func (net *Network) ValidProc(p ProcID) bool { return p >= 1 && int(p) <= net.n }
 
+// ChanIDOf returns the dense id of channel from -> to, or NoChan if the
+// channel (or either process) does not exist. The lookup is a binary search
+// over the process's sorted out-arc segment — no map, no allocation.
+func (net *Network) ChanIDOf(from, to ProcID) ChanID {
+	if !net.ValidProc(from) || !net.ValidProc(to) {
+		return NoChan
+	}
+	lo, hi := net.outOff[from-1], net.outOff[from]
+	seg := net.outTo[lo:hi]
+	i := sort.Search(len(seg), func(k int) bool { return seg[k] >= to })
+	if i < len(seg) && seg[i] == to {
+		return ChanID(lo + int32(i))
+	}
+	return NoChan
+}
+
+// BoundsOf returns the bounds of a channel by id. The id must be valid
+// (obtained from ChanIDOf, OutArcs or a Run's deliveries).
+func (net *Network) BoundsOf(id ChanID) Bounds { return net.arcs[id].Bounds }
+
+// ChannelOf returns the (from, to) pair of a channel by id.
+func (net *Network) ChannelOf(id ChanID) Channel { return net.channels[id] }
+
+// Arcs returns every channel in dense form, ordered by id (equivalently by
+// (From, To)). The returned slice is shared; callers must not mutate it.
+func (net *Network) Arcs() []Arc { return net.arcs }
+
+// OutArcs returns process p's outgoing channels as a contiguous arc slice,
+// sorted by destination. The returned slice is shared; callers must not
+// mutate it.
+func (net *Network) OutArcs(p ProcID) []Arc {
+	if !net.ValidProc(p) {
+		return nil
+	}
+	return net.arcs[net.outOff[p-1]:net.outOff[p]]
+}
+
+// InIDs returns the ids of process p's incoming channels, sorted by source.
+// The returned slice is shared; callers must not mutate it.
+func (net *Network) InIDs(p ProcID) []ChanID {
+	if !net.ValidProc(p) {
+		return nil
+	}
+	return net.inIDs[net.inOff[p-1]:net.inOff[p]]
+}
+
 // HasChan reports whether the directed channel from -> to exists.
 func (net *Network) HasChan(from, to ProcID) bool {
-	_, ok := net.chans[Channel{From: from, To: to}]
-	return ok
+	return net.ChanIDOf(from, to) != NoChan
 }
 
 // ChanBounds returns the bounds of channel from -> to.
 func (net *Network) ChanBounds(from, to ProcID) (Bounds, error) {
-	bd, ok := net.chans[Channel{From: from, To: to}]
-	if !ok {
+	id := net.ChanIDOf(from, to)
+	if id == NoChan {
 		return Bounds{}, fmt.Errorf("%w: %d->%d", ErrNoChannel, from, to)
 	}
-	return bd, nil
+	return net.arcs[id].Bounds, nil
 }
 
 // Lower returns L_{from,to}; it panics if the channel does not exist
@@ -226,18 +332,28 @@ func (net *Network) Upper(from, to ProcID) int {
 
 // Out returns the out-neighbours of p in ascending order. The returned slice
 // is shared; callers must not mutate it.
-func (net *Network) Out(p ProcID) []ProcID { return net.outAdj[p] }
+func (net *Network) Out(p ProcID) []ProcID {
+	if !net.ValidProc(p) {
+		return nil
+	}
+	return net.outTo[net.outOff[p-1]:net.outOff[p]]
+}
 
 // In returns the in-neighbours of p in ascending order. The returned slice
 // is shared; callers must not mutate it.
-func (net *Network) In(p ProcID) []ProcID { return net.inAdj[p] }
+func (net *Network) In(p ProcID) []ProcID {
+	if !net.ValidProc(p) {
+		return nil
+	}
+	return net.inFrom[net.inOff[p-1]:net.inOff[p]]
+}
 
-// Channels returns all channels in deterministic order. The returned slice
-// is shared; callers must not mutate it.
+// Channels returns all channels in deterministic (From, To) order, i.e. by
+// ChanID. The returned slice is shared; callers must not mutate it.
 func (net *Network) Channels() []Channel { return net.channels }
 
 // NumChannels returns |Chans|.
-func (net *Network) NumChannels() int { return len(net.channels) }
+func (net *Network) NumChannels() int { return len(net.arcs) }
 
 // MaxUpper returns the largest upper bound over all channels (0 if none).
 func (net *Network) MaxUpper() int { return net.maxUpper }
@@ -251,8 +367,8 @@ func (net *Network) MinLower() int { return net.minLower }
 func (net *Network) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Net(n=%d;", net.n)
-	for _, ch := range net.channels {
-		fmt.Fprintf(&sb, " %s%s", ch, net.chans[ch])
+	for _, a := range net.arcs {
+		fmt.Fprintf(&sb, " %s%s", Channel{From: a.From, To: a.To}, a.Bounds)
 	}
 	sb.WriteString(")")
 	return sb.String()

@@ -45,6 +45,76 @@ func TestBuilderBasics(t *testing.T) {
 	}
 }
 
+// TestDenseChannelIndex pins the dense core: ids are assigned in (From, To)
+// lexicographic order, the flat tables agree with the map-flavoured API, and
+// the CSR adjacency slices are consistent with Out/In.
+func TestDenseChannelIndex(t *testing.T) {
+	net := NewBuilder(4).
+		Chan(2, 1, 1, 1).
+		Chan(1, 2, 2, 5).
+		Chan(1, 3, 3, 7).
+		Chan(3, 4, 1, 2).
+		Chan(4, 1, 2, 2).
+		MustBuild()
+	wantOrder := []Channel{{1, 2}, {1, 3}, {2, 1}, {3, 4}, {4, 1}}
+	arcs := net.Arcs()
+	if len(arcs) != len(wantOrder) {
+		t.Fatalf("arcs = %d, want %d", len(arcs), len(wantOrder))
+	}
+	for i, a := range arcs {
+		if a.ID != ChanID(i) {
+			t.Errorf("arc %d has id %d", i, a.ID)
+		}
+		if (Channel{From: a.From, To: a.To}) != wantOrder[i] {
+			t.Errorf("arc %d is %d->%d, want %s", i, a.From, a.To, wantOrder[i])
+		}
+		if got := net.ChannelOf(a.ID); got != wantOrder[i] {
+			t.Errorf("ChannelOf(%d) = %s, want %s", a.ID, got, wantOrder[i])
+		}
+		if got := net.ChanIDOf(a.From, a.To); got != a.ID {
+			t.Errorf("ChanIDOf(%d,%d) = %d, want %d", a.From, a.To, got, a.ID)
+		}
+		bd, err := net.ChanBounds(a.From, a.To)
+		if err != nil || bd != net.BoundsOf(a.ID) {
+			t.Errorf("BoundsOf(%d) = %s disagrees with ChanBounds %s (err %v)",
+				a.ID, net.BoundsOf(a.ID), bd, err)
+		}
+	}
+	if got := net.ChanIDOf(2, 3); got != NoChan {
+		t.Errorf("ChanIDOf(2,3) = %d, want NoChan", got)
+	}
+	if got := net.ChanIDOf(0, 9); got != NoChan {
+		t.Errorf("ChanIDOf(0,9) = %d, want NoChan", got)
+	}
+	out := net.OutArcs(1)
+	if len(out) != 2 || out[0].To != 2 || out[1].To != 3 {
+		t.Errorf("OutArcs(1) = %+v", out)
+	}
+	for _, p := range net.Procs() {
+		oa := net.OutArcs(p)
+		if len(oa) != len(net.Out(p)) {
+			t.Errorf("OutArcs(%d) and Out(%d) disagree", p, p)
+		}
+		for i, a := range oa {
+			if a.From != p || a.To != net.Out(p)[i] {
+				t.Errorf("OutArcs(%d)[%d] = %+v", p, i, a)
+			}
+		}
+		ids := net.InIDs(p)
+		if len(ids) != len(net.In(p)) {
+			t.Errorf("InIDs(%d) and In(%d) disagree", p, p)
+		}
+		for i, id := range ids {
+			if net.ChannelOf(id).From != net.In(p)[i] || net.ChannelOf(id).To != p {
+				t.Errorf("InIDs(%d)[%d] = %d (%s)", p, i, id, net.ChannelOf(id))
+			}
+		}
+	}
+	if net.OutArcs(99) != nil || net.InIDs(0) != nil {
+		t.Error("adjacency of invalid processes should be nil")
+	}
+}
+
 func TestBuilderErrors(t *testing.T) {
 	cases := []struct {
 		name string

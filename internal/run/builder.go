@@ -136,7 +136,8 @@ func (bl *Builder) Build() (*Run, error) {
 	// its indices are fixed up after sorting below.
 	r.deliveries = make([]Delivery, 0, len(bl.messages))
 	for _, ev := range bl.messages {
-		if !bl.net.HasChan(ev.FromProc, ev.ToProc) {
+		cid := bl.net.ChanIDOf(ev.FromProc, ev.ToProc)
+		if cid == model.NoChan {
 			return nil, fmt.Errorf("%w: %d->%d", ErrChannelMissing, ev.FromProc, ev.ToProc)
 		}
 		if ev.SendTime == 0 {
@@ -151,8 +152,8 @@ func (bl *Builder) Build() (*Run, error) {
 		}
 		from := BasicNode{Proc: ev.FromProc, Index: int(fromIdx)}
 		to := BasicNode{Proc: ev.ToProc, Index: int(nodeAt[ev.ToProc-1][ev.RecvTime])}
-		d := Delivery{From: from, To: to, SendTime: ev.SendTime, RecvTime: ev.RecvTime}
-		bd, _ := bl.net.ChanBounds(ev.FromProc, ev.ToProc)
+		d := Delivery{From: from, To: to, SendTime: ev.SendTime, RecvTime: ev.RecvTime, Chan: cid}
+		bd := bl.net.BoundsOf(cid)
 		lat := ev.RecvTime - ev.SendTime
 		if lat < bd.Lower || lat > bd.Upper {
 			return nil, fmt.Errorf("%w: %s latency %d outside %s", ErrBadDelivery, d, lat, bd)
@@ -180,9 +181,9 @@ func (bl *Builder) Build() (*Run, error) {
 		for k := 1; k <= r.LastIndex(p); k++ {
 			from := BasicNode{Proc: p, Index: k}
 			st := r.times[p-1][k]
-			for _, q := range bl.net.Out(p) {
-				if _, ok := r.sent[sentKey{from: from, to: q}]; !ok {
-					r.pending = append(r.pending, Pending{From: from, To: q, SendTime: st})
+			for _, a := range bl.net.OutArcs(p) {
+				if _, ok := r.sent[sentKey{from: from, to: a.To}]; !ok {
+					r.pending = append(r.pending, Pending{From: from, To: a.To, SendTime: st, Chan: a.ID})
 				}
 			}
 		}

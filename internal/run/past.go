@@ -171,12 +171,12 @@ func (r *Run) MessagesLeavingPast(ps *PastSet) []Pending {
 		for idx := 1; idx <= k; idx++ {
 			from := BasicNode{Proc: p, Index: idx}
 			st := r.times[p-1][idx]
-			for _, q := range r.net.Out(p) {
-				d, ok := r.DeliveryFrom(from, q)
+			for _, a := range r.net.OutArcs(p) {
+				d, ok := r.DeliveryFrom(from, a.To)
 				if ok && ps.Contains(d.To) {
 					continue
 				}
-				out = append(out, Pending{From: from, To: q, SendTime: st})
+				out = append(out, Pending{From: from, To: a.To, SendTime: st, Chan: a.ID})
 			}
 		}
 	}

@@ -12,11 +12,18 @@ import (
 // on the channel (From.Proc -> To.Proc) at SendTime, delivered at node To at
 // RecvTime. In an FFIP run every non-initial node sends exactly one message
 // per outgoing channel, so (From, To.Proc) identifies the message.
+//
+// Chan is the dense id of the channel travelled, resolved against the
+// network by the constructors in this package (Builder, View); consumers on
+// per-delivery hot paths use it for O(1) bounds lookups via
+// (*model.Network).BoundsOf. Hand-rolled zero-valued literals leave it
+// meaningless.
 type Delivery struct {
 	From     BasicNode
 	To       BasicNode
 	SendTime model.Time
 	RecvTime model.Time
+	Chan     model.ChanID
 }
 
 // Channel returns the channel the message travelled on.
@@ -43,11 +50,13 @@ func (e External) String() string {
 }
 
 // Pending describes an FFIP message that was sent but not delivered within
-// the run's horizon (it is still in transit when the recording stops).
+// the run's horizon (it is still in transit when the recording stops). Chan
+// is the dense channel id, set by the constructors in this package.
 type Pending struct {
 	From     BasicNode
 	To       model.ProcID
 	SendTime model.Time
+	Chan     model.ChanID
 }
 
 // Deadline returns the latest time the environment may deliver the message.

@@ -2,6 +2,8 @@ package run
 
 import (
 	"fmt"
+
+	"github.com/clockless/zigzag/internal/model"
 )
 
 // Validate checks that the recording is the prefix of a legal run of the
@@ -57,13 +59,18 @@ func (r *Run) Validate() error {
 		}
 	}
 
-	// 3. Delivery legality.
+	// 3. Delivery legality. The channel is re-resolved from the endpoint
+	// pair — independently of the recorded dense id, which must agree.
 	for _, d := range r.deliveries {
 		ch := d.Channel()
-		bd, err := net.ChanBounds(ch.From, ch.To)
-		if err != nil {
+		cid := net.ChanIDOf(ch.From, ch.To)
+		if cid == model.NoChan {
 			return fmt.Errorf("%w: %s", ErrChannelMissing, d)
 		}
+		if d.Chan != cid {
+			return fmt.Errorf("%w: %s carries channel id %d, want %d", ErrChannelMissing, d, d.Chan, cid)
+		}
+		bd := net.BoundsOf(cid)
 		if d.From.IsInitial() {
 			return fmt.Errorf("%w: %s", ErrInitialSend, d)
 		}
@@ -91,11 +98,11 @@ func (r *Run) Validate() error {
 		for k := 1; k <= r.LastIndex(p); k++ {
 			from := BasicNode{Proc: p, Index: k}
 			st := r.times[p-1][k]
-			for _, q := range net.Out(p) {
-				_, delivered := r.DeliveryFrom(from, q)
-				if !delivered && st+net.Upper(p, q) <= r.horizon {
+			for _, a := range net.OutArcs(p) {
+				_, delivered := r.DeliveryFrom(from, a.To)
+				if !delivered && st+a.Bounds.Upper <= r.horizon {
 					return fmt.Errorf("%w: message %s->%d sent at %d, deadline %d, horizon %d",
-						ErrMissedDeadline, from, q, st, st+net.Upper(p, q), r.horizon)
+						ErrMissedDeadline, from, a.To, st, st+a.Bounds.Upper, r.horizon)
 				}
 			}
 		}

@@ -130,12 +130,13 @@ func (v *View) DeliveryTo(from BasicNode, to model.ProcID) (BasicNode, bool) {
 }
 
 // Deliveries returns the view's deliveries as (from, to) node pairs in
-// deterministic order.
+// deterministic order, with the dense channel id resolved. Send and receive
+// times are structural unknowns and left zero.
 func (v *View) Deliveries() []Delivery {
 	var out []Delivery
 	for from, m := range v.sent {
 		for _, to := range m {
-			out = append(out, Delivery{From: from, To: to})
+			out = append(out, Delivery{From: from, To: to, Chan: v.net.ChanIDOf(from.Proc, to.Proc)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -160,9 +161,9 @@ func (v *View) Leaving() []Pending {
 		p := model.ProcID(i + 1)
 		for idx := 1; idx <= k; idx++ {
 			from := BasicNode{Proc: p, Index: idx}
-			for _, q := range v.net.Out(p) {
-				if _, ok := v.DeliveryTo(from, q); !ok {
-					out = append(out, Pending{From: from, To: q})
+			for _, a := range v.net.OutArcs(p) {
+				if _, ok := v.DeliveryTo(from, a.To); !ok {
+					out = append(out, Pending{From: from, To: a.To, Chan: a.ID})
 				}
 			}
 		}

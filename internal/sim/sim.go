@@ -69,13 +69,15 @@ func Simulate(cfg Config) (*run.Run, error) {
 	var free [][]Send
 
 	// send floods the history of process p at time t on all outgoing
-	// channels, scheduling each delivery per the policy.
+	// channels, scheduling each delivery per the policy. The per-process arc
+	// slice carries destination and bounds together, so the loop is one
+	// contiguous read with no per-channel lookups.
 	send := func(p model.ProcID, t model.Time) error {
-		for _, q := range cfg.Net.Out(p) {
-			bd, _ := cfg.Net.ChanBounds(p, q)
-			s := Send{From: p, To: q, SendTime: t}
-			lat := policy.Latency(s, bd)
-			if err := validateLatency(policy, s, bd, lat); err != nil {
+		arcs := cfg.Net.OutArcs(p)
+		for _, a := range arcs {
+			s := Send{From: p, To: a.To, SendTime: t}
+			lat := policy.Latency(s, a.Bounds)
+			if err := validateLatency(policy, s, a.Bounds, lat); err != nil {
 				return err
 			}
 			rt := t + lat
@@ -87,7 +89,7 @@ func Simulate(cfg Config) (*run.Run, error) {
 					arrivals[rt] = free[len(free)-1]
 					free = free[:len(free)-1]
 				} else {
-					arrivals[rt] = make([]Send, 0, len(cfg.Net.Out(p)))
+					arrivals[rt] = make([]Send, 0, len(arcs))
 				}
 			}
 			arrivals[rt] = append(arrivals[rt], s)

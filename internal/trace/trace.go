@@ -50,13 +50,14 @@ type ExternalJSON struct {
 	Label string       `json:"label"`
 }
 
-// EncodeNetwork converts a network to its wire form.
+// EncodeNetwork converts a network to its wire form. Channels are emitted in
+// ChanID order, which is the (From, To) lexicographic order of the dense arc
+// table — the same deterministic order the map-based encoding produced.
 func EncodeNetwork(net *model.Network) NetworkJSON {
 	out := NetworkJSON{Procs: net.N()}
-	for _, ch := range net.Channels() {
-		bd, _ := net.ChanBounds(ch.From, ch.To)
+	for _, a := range net.Arcs() {
 		out.Channels = append(out.Channels, ChannelJSON{
-			From: ch.From, To: ch.To, Lower: bd.Lower, Upper: bd.Upper,
+			From: a.From, To: a.To, Lower: a.Bounds.Lower, Upper: a.Bounds.Upper,
 		})
 	}
 	return out
