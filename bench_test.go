@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	zigzag "github.com/clockless/zigzag"
+	"github.com/clockless/zigzag/internal/bench"
 	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/live"
 	"github.com/clockless/zigzag/internal/model"
@@ -350,26 +351,14 @@ func BenchmarkEarlyCoordination(b *testing.B) {
 	b.ReportMetric(float64(lead), "lead")
 }
 
-// BenchmarkScalingSimulate (B1): simulator throughput vs network size.
+// BenchmarkScalingSimulate (B1): simulator throughput vs network size. The
+// body is shared with cmd/bench-export via internal/bench, as are all the
+// Scaling/Protocol2 families below, so go test -bench and the committed
+// BENCH_<date>.json snapshots always measure the same workloads.
 func BenchmarkScalingSimulate(b *testing.B) {
 	for _, n := range []int{4, 8, 16, 32} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			cfg := workload.DefaultConfig(int64(n))
-			cfg.Procs = n
-			cfg.ExtraChannels = 2 * n
-			in := workload.MustGenerate(cfg)
-			var nodes int
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				r, err := in.Simulate(sim.NewRandom(int64(i)))
-				if err != nil {
-					b.Fatal(err)
-				}
-				nodes = r.NumNodes()
-			}
-			b.ReportMetric(float64(nodes), "nodes")
-		})
+		c := bench.ScalingSimulate(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
 	}
 }
 
@@ -379,64 +368,51 @@ func BenchmarkScalingSimulate(b *testing.B) {
 // TestNewBasicAllocationGuard in internal/bounds.
 func BenchmarkScalingBasicGraph(b *testing.B) {
 	for _, n := range []int{4, 8, 16, 32, 64, 128} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			cfg := workload.DefaultConfig(int64(n))
-			cfg.Procs = n
-			cfg.ExtraChannels = 2 * n
-			in := workload.MustGenerate(cfg)
-			r, err := in.Simulate(sim.NewRandom(5))
-			if err != nil {
-				b.Fatal(err)
-			}
-			var edges int
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				edges = bounds.NewBasic(r).NumEdges()
-			}
-			b.ReportMetric(float64(edges), "edges")
-		})
+		c := bench.ScalingBasicGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
 	}
 }
 
 // BenchmarkScalingKnowledge (B1): extended graph + knowledge query vs
-// network size — the per-decision cost of Protocol 2.
+// network size — the per-decision cost of offline Protocol 2.
 func BenchmarkScalingKnowledge(b *testing.B) {
 	for _, n := range []int{4, 8, 16, 32, 64, 128} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			cfg := workload.DefaultConfig(int64(n))
-			cfg.Procs = n
-			cfg.ExtraChannels = 2 * n
-			in := workload.MustGenerate(cfg)
-			r, err := in.Simulate(sim.NewRandom(5))
-			if err != nil {
-				b.Fatal(err)
-			}
-			window := in.WindowNodes(r)
-			sigma := window[len(window)-1]
-			ps, err := r.Past(sigma)
-			if err != nil {
-				b.Fatal(err)
-			}
-			var theta1 run.GeneralNode
-			for _, node := range window {
-				if ps.Contains(node) && !node.IsInitial() {
-					theta1 = run.At(node)
-					break
-				}
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				ext, err := bounds.NewExtended(r, sigma)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, _, _, err := ext.KnowledgeWeight(theta1, run.At(sigma)); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		c := bench.ScalingKnowledge(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
+	}
+}
+
+// BenchmarkScalingLive (B1): the goroutine-per-process live engine vs
+// network size — environment scheduling, FFIP relaying and per-state
+// snapshots, with no agents. The body is shared with cmd/bench-export via
+// internal/bench.
+func BenchmarkScalingLive(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		c := bench.ScalingLive(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
+	}
+}
+
+// BenchmarkProtocol2Online (B1): the end-to-end online coordination
+// decision with the incremental bounds.Online engine — every state of B
+// pays only for its view's growth.
+func BenchmarkProtocol2Online(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		c := bench.Protocol2Online(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
+	}
+}
+
+// BenchmarkProtocol2Rebuild is the rebuild-per-state baseline recorded
+// alongside BenchmarkProtocol2Online: identical workload, but B
+// reconstructs GE(r, sigma) from scratch at every state (the pre-online
+// agent). It stops at n=32 — a single rebuild-per-state run at n=64 takes
+// over a minute, which is exactly the cost the online engine amortizes
+// away.
+func BenchmarkProtocol2Rebuild(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		c := bench.Protocol2Rebuild(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
 	}
 }
 

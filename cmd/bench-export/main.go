@@ -1,0 +1,114 @@
+// Command bench-export runs the repository's scaling benchmark suite
+// programmatically (the same bodies go test -bench runs, via internal/bench)
+// and writes the results as a JSON perf-trajectory snapshot, by default to
+// BENCH_<date>.json in the current directory. Committing one snapshot per
+// perf-relevant change turns the benchmark numbers quoted in commit
+// messages into a queryable series; EXPERIMENTS.md documents the workflow.
+//
+// Usage:
+//
+//	bench-export [-out file] [-benchtime 1x|100ms|...] [-filter substr] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clockless/zigzag/internal/bench"
+)
+
+// result is one benchmark cell of the exported snapshot.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// snapshot is the exported file layout.
+type snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	testing.Init() // registers -test.* flags: required to Benchmark outside go test
+	var (
+		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		benchtime = flag.String("benchtime", "1x", "per-benchmark budget, as go test -benchtime (e.g. 1x, 100ms)")
+		filter    = flag.String("filter", "", "only run cases whose name contains this substring")
+		list      = flag.Bool("list", false, "list case names and exit")
+	)
+	flag.Parse()
+	cases := bench.ExportCases()
+	if *list {
+		for _, c := range cases {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+	// testing.Benchmark honors the -test.benchtime flag; set it explicitly
+	// so the export is self-contained.
+	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(2)
+	}
+	snap := snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+	}
+	for _, c := range cases {
+		if *filter != "" && !strings.Contains(c.Name, *filter) {
+			continue
+		}
+		br := testing.Benchmark(c.Run)
+		r := result{
+			Name:        c.Name,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		fmt.Printf("%-28s %12.0f ns/op %10d allocs/op %12d B/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		snap.Results = append(snap.Results, r)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "no benchmark cases matched")
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("perf snapshot written to %s (%d cells)\n", path, len(snap.Results))
+}

@@ -58,10 +58,15 @@
 //
 // The hot paths are dense and allocation-light: networks index their
 // channels by integer ChanID with flat arc tables and CSR-style adjacency,
-// the simulator's event schedule and the run indexes are horizon-indexed
-// slices rather than maps, and the bounds graphs are built over exact
-// degree counts with no per-edge metadata — all guarded by
-// allocation-budget tests in internal/sim and internal/bounds.
+// the simulator's and the live engine's event schedules and the run indexes
+// are horizon-indexed slices rather than maps, and the bounds graphs are
+// built over exact degree counts with no per-edge metadata — all guarded by
+// allocation-budget tests in internal/sim, internal/bounds and
+// internal/live. Online agents keep an incremental knowledge engine
+// (bounds.Online) that extends a standing extended bounds graph with each
+// state's delta — read off the view's append-only delivery log — and
+// re-relaxes longest paths from only the new edges, answering exactly as a
+// fresh per-state build would at a small fraction of the cost.
 //
 // The implementation details live in internal packages; this package
 // re-exports the stable API. See DESIGN.md for the system inventory and

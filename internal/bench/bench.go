@@ -1,0 +1,287 @@
+// Package bench defines the repository's scaling benchmark bodies once, so
+// that the root benchmark suite (go test -bench) and the perf-trajectory
+// exporter (cmd/bench-export, which runs them via testing.Benchmark and
+// writes BENCH_<date>.json) measure exactly the same workloads.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/live"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/workload"
+)
+
+// Case is one benchmark cell: a name like "ScalingLive/n=16" and a body
+// runnable both under go test -bench and testing.Benchmark.
+type Case struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// instance generates the standard scaling workload for n processes.
+func instance(n int) *workload.Instance {
+	cfg := workload.DefaultConfig(int64(n))
+	cfg.Procs = n
+	cfg.ExtraChannels = 2 * n
+	return workload.MustGenerate(cfg)
+}
+
+// ScalingLive measures the goroutine-per-process live engine (no agents —
+// the environment and FFIP relay cost alone) on the standard scaling
+// workload.
+func ScalingLive(n int) Case {
+	return Case{
+		Name: fmt.Sprintf("ScalingLive/n=%d", n),
+		Run: func(b *testing.B) {
+			in := instance(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := live.Run(live.Config{
+					Net: in.Net, Horizon: in.Horizon,
+					Policy: sim.NewRandom(int64(i)), Externals: in.Externals,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Run.NumNodes() == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		},
+	}
+}
+
+// protocol2Task wires the standard coordination task for the Protocol2
+// scaling benchmarks: C triggers A over the instance's first channel and B
+// (a third process) watches for an unattainably large separation — so the
+// agent re-queries its growing view at every single state, which is
+// exactly the per-state engine cost the benchmark isolates.
+func protocol2Task(in *workload.Instance) coord.Task {
+	a := in.Net.Arcs()[0]
+	task := coord.Task{Kind: coord.Late, X: 1 << 20, C: a.From, A: a.To, GoTime: 1}
+	for _, p := range in.Net.Procs() {
+		if p != task.A && p != task.C {
+			task.B = p
+			break
+		}
+	}
+	return task
+}
+
+// stateBatch is one precomputed receive batch of the benchmarked process.
+type stateBatch struct {
+	receipts  []run.Receipt
+	externals []string
+}
+
+// replayBatches reconstructs the receive batches of process bproc from a
+// recorded run, with payload snapshots taken from per-process views evolved
+// in lockstep — the exact payload structure (shared source identities,
+// prefix-extending logs) the live engine produces, so view merges hit the
+// same watermark fast path.
+func replayBatches(r *run.Run, bproc model.ProcID) []stateBatch {
+	net := r.Net()
+	views := make([]*run.View, net.N())
+	for _, p := range net.Procs() {
+		views[p-1] = run.NewLocalView(net, p)
+	}
+	snaps := make(map[run.BasicNode]*run.Snapshot)
+	var out []stateBatch
+	for t := model.Time(1); t <= r.Horizon(); t++ {
+		for _, p := range net.Procs() {
+			node := r.NodeAt(p, t)
+			if node.IsInitial() || r.MustTime(node) != t {
+				continue
+			}
+			var receipts []run.Receipt
+			for _, d := range r.Inbox(node) {
+				receipts = append(receipts, run.Receipt{From: d.From, Payload: snaps[d.From]})
+			}
+			var externals []string
+			for _, e := range r.ExternalsAt(node) {
+				externals = append(externals, e.Label)
+			}
+			if _, err := views[p-1].Absorb(receipts, externals); err != nil {
+				panic(err)
+			}
+			snaps[node] = views[p-1].Snapshot()
+			if p == bproc {
+				out = append(out, stateBatch{receipts: receipts, externals: externals})
+			}
+		}
+	}
+	return out
+}
+
+// protocol2 measures the per-state online decision loop of Protocol 2 for
+// B over a recorded scaling run: absorb each receive batch into B's view
+// and let the agent decide, under the selected engine. Only the engines
+// differ between the Online and Rebuild variants; the replayed view
+// maintenance is identical.
+func protocol2(n int, name string, rebuild bool) Case {
+	return Case{
+		Name: fmt.Sprintf("%s/n=%d", name, n),
+		Run: func(b *testing.B) {
+			in := instance(n)
+			task := protocol2Task(in)
+			r, err := sim.Simulate(sim.Config{
+				Net: in.Net, Horizon: in.Horizon, Policy: sim.NewRandom(11),
+				Externals: sim.GoAt(task.C, task.GoTime, "go"),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches := replayBatches(r, task.B)
+			if len(batches) == 0 {
+				b.Fatal("B never moves")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent := &live.Protocol2{Task: task, Rebuild: rebuild}
+				view := run.NewLocalView(in.Net, task.B)
+				for bi := range batches {
+					if _, err := view.Absorb(batches[bi].receipts, batches[bi].externals); err != nil {
+						b.Fatal(err)
+					}
+					agent.OnState(view, batches[bi].externals)
+				}
+				if err := agent.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(batches)), "states")
+		},
+	}
+}
+
+// Protocol2Online is the end-to-end online coordination decision with the
+// incremental bounds.Online engine: every state of B pays only for the
+// view's growth.
+func Protocol2Online(n int) Case { return protocol2(n, "Protocol2Online", false) }
+
+// Protocol2Rebuild is the rebuild-per-state baseline recorded alongside
+// Protocol2Online: identical workload, but B reconstructs GE(r, sigma)
+// from scratch at every state.
+func Protocol2Rebuild(n int) Case { return protocol2(n, "Protocol2Rebuild", true) }
+
+// ScalingSimulate measures lockstep simulator throughput (the B1 row). The
+// nodes metric is the determinism guard: it must stay identical across
+// perf-only changes.
+func ScalingSimulate(n int) Case {
+	return Case{
+		Name: fmt.Sprintf("ScalingSimulate/n=%d", n),
+		Run: func(b *testing.B) {
+			in := instance(n)
+			var nodes int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := in.Simulate(sim.NewRandom(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = r.NumNodes()
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		},
+	}
+}
+
+// ScalingBasicGraph measures dense GB(r) construction (the B1 row).
+func ScalingBasicGraph(n int) Case {
+	return Case{
+		Name: fmt.Sprintf("ScalingBasicGraph/n=%d", n),
+		Run: func(b *testing.B) {
+			in := instance(n)
+			r, err := in.Simulate(sim.NewRandom(5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var edges int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				edges = bounds.NewBasic(r).NumEdges()
+			}
+			if edges == 0 {
+				b.Fatal("no edges")
+			}
+			b.ReportMetric(float64(edges), "edges")
+		},
+	}
+}
+
+// ScalingKnowledge measures one extended-graph build plus knowledge query —
+// the per-decision cost of offline Protocol 2.
+func ScalingKnowledge(n int) Case {
+	return Case{
+		Name: fmt.Sprintf("ScalingKnowledge/n=%d", n),
+		Run: func(b *testing.B) {
+			in := instance(n)
+			r, err := in.Simulate(sim.NewRandom(5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			window := in.WindowNodes(r)
+			sigma := window[len(window)-1]
+			ps, err := r.Past(sigma)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var theta1 run.GeneralNode
+			for _, node := range window {
+				if ps.Contains(node) && !node.IsInitial() {
+					theta1 = run.At(node)
+					break
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ext, err := bounds.NewExtended(r, sigma)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, _, err := ext.KnowledgeWeight(theta1, run.At(sigma)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+// ExportCases is the perf-trajectory suite written by cmd/bench-export:
+// every scaling family at its standard sizes.
+func ExportCases() []Case {
+	var cases []Case
+	for _, n := range []int{4, 8, 16, 32} {
+		cases = append(cases, ScalingSimulate(n))
+	}
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		cases = append(cases, ScalingBasicGraph(n))
+	}
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		cases = append(cases, ScalingKnowledge(n))
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		cases = append(cases, ScalingLive(n))
+	}
+	// The rebuild baseline stops at n=32: at n=64 a single rebuild-per-state
+	// run takes over a minute, which is exactly the point of the online
+	// engine — the online variant covers n=64 on its own.
+	for _, n := range []int{8, 16, 32} {
+		cases = append(cases, Protocol2Rebuild(n))
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		cases = append(cases, Protocol2Online(n))
+	}
+	return cases
+}

@@ -66,7 +66,7 @@ func TestExtendedRejectsUnmodeledChannel(t *testing.T) {
 		t.Fatal(err)
 	}
 	receiver := run.NewLocalView(net, 2)
-	if _, err := receiver.Absorb([]run.Receipt{{From: from, Payload: sender.Clone()}}, nil); err != nil {
+	if _, err := receiver.Absorb([]run.Receipt{{From: from, Payload: sender.Snapshot()}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := NewExtendedFromView(receiver); !errors.Is(err, model.ErrNoChannel) {

@@ -31,6 +31,10 @@ type Basic struct {
 	r      *run.Run
 	g      *graph.Graph
 	offset []int // offset[p-1]: first vertex id of process p's nodes
+
+	// scratch holds the SPFA and path-reconstruction buffers reused across
+	// this graph's queries (a Basic is not safe for concurrent use).
+	scratch graph.Scratch
 }
 
 // NewBasic constructs GB(r) in two passes: an exact degree count, then edge
@@ -179,14 +183,14 @@ func (b *Basic) LongestBetween(sigma1, sigma2 run.BasicNode) (x int, steps []Ste
 	if err != nil {
 		return 0, nil, false, err
 	}
-	dist, err := b.g.Longest(u)
+	dist, err := b.g.LongestWith(&b.scratch, u)
 	if err != nil {
 		return 0, nil, false, fmt.Errorf("bounds: GB(r) inconsistent: %w", err)
 	}
 	if dist[v] == graph.NegInf {
 		return 0, nil, false, nil
 	}
-	weight, path, ok, err := b.g.LongestPath(u, v)
+	path, ok, err := b.g.PathFrom(&b.scratch, dist, u, v)
 	if err != nil || !ok {
 		return 0, nil, ok, err
 	}
@@ -194,7 +198,7 @@ func (b *Basic) LongestBetween(sigma1, sigma2 run.BasicNode) (x int, steps []Ste
 	if err != nil {
 		return 0, nil, false, err
 	}
-	return int(weight), steps, true, nil
+	return int(dist[v]), steps, true, nil
 }
 
 // DistancesInto returns, for every basic node, the weight of the longest

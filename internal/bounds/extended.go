@@ -49,6 +49,11 @@ type Extended struct {
 	// the first query that reached it; every query reaching the vertex
 	// denotes the same node in all runs indistinguishable at sigma.
 	chainNodes []run.GeneralNode
+
+	// scratch holds the SPFA and path-reconstruction buffers reused across
+	// this graph's knowledge queries (like the graph itself, an Extended is
+	// not safe for concurrent use).
+	scratch graph.Scratch
 }
 
 // chainKey identifies a beyond-horizon chain vertex by integers alone.

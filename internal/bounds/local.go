@@ -32,7 +32,7 @@ func (e *Extended) LocalWeight(sigma1, sigma2 run.BasicNode) (kw int, known bool
 			}
 		}
 	}
-	dist, err := local.Longest(u)
+	dist, err := local.LongestWith(&e.scratch, u)
 	if err != nil {
 		return 0, false, err
 	}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/clockless/zigzag/internal/graph"
 	"github.com/clockless/zigzag/internal/run"
 )
 
@@ -131,6 +130,10 @@ func (e *Extended) stepsOf(path []int, dist []int64) ([]Step, error) {
 // extraction. known is false — with err == nil — when no bound is known at
 // any x (no constraint path exists; the fast-run construction of Definition
 // 24 can then delay theta1 arbitrarily past theta2).
+//
+// The query runs one SPFA pass over the graph's scratch buffers and
+// reconstructs the path from its distances, so repeated queries on one
+// Extended allocate only their result steps.
 func (e *Extended) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, steps []Step, known bool, err error) {
 	u, err := e.VertexOfGeneral(theta1)
 	if err != nil {
@@ -140,14 +143,11 @@ func (e *Extended) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, step
 	if err != nil {
 		return 0, nil, false, err
 	}
-	dist, err := e.g.Longest(u)
+	dist, err := e.g.LongestWith(&e.scratch, u)
 	if err != nil {
 		return 0, nil, false, fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
 	}
-	if dist[v] == graph.NegInf {
-		return 0, nil, false, nil
-	}
-	weight, path, ok, err := e.g.LongestPath(u, v)
+	path, ok, err := e.g.PathFrom(&e.scratch, dist, u, v)
 	if err != nil {
 		return 0, nil, false, err
 	}
@@ -158,7 +158,7 @@ func (e *Extended) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, step
 	if err != nil {
 		return 0, nil, false, err
 	}
-	return int(weight), steps, true, nil
+	return int(dist[v]), steps, true, nil
 }
 
 // Knows reports whether K_sigma(theta1 --x--> theta2) holds: whether sigma,

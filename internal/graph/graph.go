@@ -89,6 +89,18 @@ func (g *Graph) AddVertex() int {
 	return len(g.adj) - 1
 }
 
+// AddVertexWithCaps is AddVertex with adjacency capacity hints: both lists
+// are carved out of one backing allocation, so a vertex whose eventual
+// degrees stay within the hints costs a single allocation no matter how its
+// edges trickle in (incremental callers add them one sync at a time).
+// Exceeding a hint falls back to ordinary append growth.
+func (g *Graph) AddVertexWithCaps(outCap, inCap int) int {
+	backing := make([]Edge, outCap+inCap)
+	g.adj = append(g.adj, backing[0:0:outCap])
+	g.radj = append(g.radj, backing[outCap:outCap:outCap+inCap])
+	return len(g.adj) - 1
+}
+
 // AddEdge inserts the edge u --w--> v. Parallel edges are allowed (only the
 // heaviest matters for longest paths). It panics on out-of-range vertices —
 // vertex allocation is the caller's structural invariant.
@@ -107,82 +119,240 @@ func (g *Graph) Out(u int) []Edge { return g.adj[u] }
 // same weights. Callers must not mutate the result.
 func (g *Graph) In(u int) []Edge { return g.radj[u] }
 
+// Scratch holds the reusable working buffers of the longest-path queries:
+// distances, queue membership, relaxation counters, the SPFA ring queue and
+// the tight-path reconstruction state. A zero Scratch is ready to use; the
+// buffers grow to the largest graph queried and are then reused, so repeated
+// queries on a (growing) graph stop allocating O(V) per call. A Scratch is
+// owned by one querier at a time — it is not safe for concurrent use.
+type Scratch struct {
+	// n is the vertex count covered by the most recent completed
+	// computation; RelaxFrom uses it to initialize vertices added since.
+	n int
+
+	dist    []int64
+	inQueue []bool
+	pathLen []int32
+	queue   []int // ring buffer: at most one entry per vertex
+
+	visited []bool
+	from    []int
+	stack   []int
+}
+
+// ensure grows the buffers to cover n vertices, preserving existing
+// contents (RelaxFrom resumes from the distances of the previous run).
+func (s *Scratch) ensure(n int) {
+	if n > cap(s.dist) {
+		c := 2 * cap(s.dist)
+		if c < n {
+			c = n
+		}
+		dist := make([]int64, c)
+		copy(dist, s.dist)
+		s.dist = dist
+		s.inQueue = make([]bool, c)
+		s.pathLen = make([]int32, c)
+		s.queue = make([]int, c)
+		s.visited = make([]bool, c)
+		s.from = make([]int, c)
+	}
+	s.dist = s.dist[:n]
+	s.inQueue = s.inQueue[:n]
+	s.pathLen = s.pathLen[:n]
+	s.queue = s.queue[:n]
+	s.visited = s.visited[:n]
+	s.from = s.from[:n]
+}
+
+// Truncate forgets distances of vertices >= n, so that a subsequent
+// RelaxFrom treats re-allocated vertex ids (after PopVertex) as fresh. It
+// never grows the covered range.
+func (s *Scratch) Truncate(n int) {
+	if n < s.n {
+		s.n = n
+	}
+}
+
 // Longest computes single-source longest-path distances from src using a
 // queue-based Bellman–Ford (SPFA). dist[v] == NegInf means v is unreachable.
 // It returns ErrPositiveCycle if a positive cycle is reachable from src.
 func (g *Graph) Longest(src int) ([]int64, error) {
-	return longest(src, g.adj)
+	return longest(src, g.adj, new(Scratch))
+}
+
+// LongestWith is Longest with caller-provided working buffers: the returned
+// slice aliases s and stays valid only until s is used again.
+func (g *Graph) LongestWith(s *Scratch, src int) ([]int64, error) {
+	return longest(src, g.adj, s)
 }
 
 // LongestInto computes, for every vertex v, the weight of the longest path
 // from v to dst, by running SPFA on the reversed graph. dist[v] == NegInf
 // means dst is unreachable from v.
 func (g *Graph) LongestInto(dst int) ([]int64, error) {
-	return longest(dst, g.radj)
+	return longest(dst, g.radj, new(Scratch))
 }
 
-func longest(src int, adj [][]Edge) ([]int64, error) {
+// LongestIntoWith is LongestInto with caller-provided working buffers: the
+// returned slice aliases s and stays valid only until s is used again.
+func (g *Graph) LongestIntoWith(s *Scratch, dst int) ([]int64, error) {
+	return longest(dst, g.radj, s)
+}
+
+func longest(src int, adj [][]Edge, s *Scratch) ([]int64, error) {
 	n := len(adj)
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("graph: source %d outside 0..%d", src, n-1)
 	}
-	dist := make([]int64, n)
+	s.ensure(n)
+	dist := s.dist
 	for i := range dist {
 		dist[i] = NegInf
+		s.inQueue[i] = false
+		s.pathLen[i] = 0
 	}
 	dist[src] = 0
+	s.queue[0] = src
+	s.inQueue[src] = true
+	s.n = n
+	return dist, spfa(adj, s, 1)
+}
 
-	inQueue := make([]bool, n)
-	relaxed := make([]int, n)
-	queue := make([]int, 0, n)
-	queue = append(queue, src)
-	inQueue[src] = true
+// RelaxFrom resumes a longest-path computation after monotone growth of the
+// graph: s must hold the distances of a prior Longest/LongestWith run on
+// this graph from the same source, before vertices and edges were ADDED
+// (adding an edge or vertex never invalidates a longest-path distance
+// downward, so the old fixpoint is a valid starting point; edge removal is
+// not supported — recompute from scratch after one). Vertices appended since
+// the prior run start unreachable; seeds must list the sources of every
+// edge added since. The returned slice aliases s, as with LongestWith.
+func (g *Graph) RelaxFrom(s *Scratch, seeds []int) ([]int64, error) {
+	n := len(g.adj)
+	if s.n == 0 {
+		return nil, errors.New("graph: RelaxFrom without a prior computation")
+	}
+	if s.n > n {
+		return nil, fmt.Errorf("graph: RelaxFrom after shrink: %d vertices, scratch covers %d", n, s.n)
+	}
+	old := s.n
+	s.ensure(n)
+	dist := s.dist
+	for i := old; i < n; i++ {
+		dist[i] = NegInf
+	}
+	for i := range s.inQueue {
+		s.inQueue[i] = false
+		s.pathLen[i] = 0
+	}
+	count := 0
+	for _, v := range seeds {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: seed %d outside 0..%d", v, n-1)
+		}
+		// Unreachable seeds cannot improve anything (and must not leak
+		// NegInf+w pseudo-distances into the relaxation).
+		if !s.inQueue[v] && dist[v] != NegInf {
+			s.queue[count] = v
+			count++
+			s.inQueue[v] = true
+		}
+	}
+	s.n = n
+	return dist, spfa(g.adj, s, count)
+}
 
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+// spfa drains the ring queue holding count seeded vertices. The queue holds
+// at most one entry per vertex (inQueue guards every push), so the ring
+// never overtakes its head; dequeues are O(1) index moves and the backing
+// array is reused across queries instead of leaking capacity the way a
+// queue[1:] re-slice does.
+//
+// Positive cycles are detected exactly, by path edge count: every
+// relaxation records that the improving path to e.To is one edge longer
+// than the one to u, and a strictly-improving path of n edges must revisit
+// a vertex, around a cycle that raised its distance — a positive cycle.
+// Conversely, when no positive cycle is reachable every improving path is
+// simple (revisiting would imply a distance-raising cycle), so lengths stay
+// below n and legal graphs are never misreported, no matter how many times
+// a vertex is re-relaxed.
+func spfa(adj [][]Edge, s *Scratch, count int) error {
+	n := len(adj)
+	dist, inQueue, pathLen, queue := s.dist, s.inQueue, s.pathLen, s.queue
+	head := 0
+	for count > 0 {
+		u := queue[head]
+		head++
+		if head == n {
+			head = 0
+		}
+		count--
 		inQueue[u] = false
 		du := dist[u]
 		for _, e := range adj[u] {
 			if nd := du + int64(e.Weight); nd > dist[e.To] {
 				dist[e.To] = nd
-				relaxed[e.To]++
-				if relaxed[e.To] > n {
-					return nil, ErrPositiveCycle
+				pathLen[e.To] = pathLen[u] + 1
+				if int(pathLen[e.To]) >= n {
+					return ErrPositiveCycle
 				}
 				if !inQueue[e.To] {
-					queue = append(queue, e.To)
+					tail := head + count
+					if tail >= n {
+						tail -= n
+					}
+					queue[tail] = e.To
+					count++
 					inQueue[e.To] = true
 				}
 			}
 		}
 	}
-	return dist, nil
+	return nil
 }
 
 // LongestPath returns the weight of a longest path from src to dst and a
 // vertex sequence realizing it. ok is false if dst is unreachable.
+func (g *Graph) LongestPath(src, dst int) (weight int64, path []int, ok bool, err error) {
+	return g.LongestPathWith(new(Scratch), src, dst)
+}
+
+// LongestPathWith is LongestPath with caller-provided working buffers; only
+// the returned path is freshly allocated.
+func (g *Graph) LongestPathWith(s *Scratch, src, dst int) (weight int64, path []int, ok bool, err error) {
+	dist, err := g.LongestWith(s, src)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	path, ok, err = g.PathFrom(s, dist, src, dst)
+	if !ok || err != nil {
+		return 0, nil, false, err
+	}
+	return dist[dst], path, true, nil
+}
+
+// PathFrom reconstructs a longest src->dst path from distances previously
+// computed by Longest/LongestWith/RelaxFrom from src (callers holding the
+// distances already avoid a second SPFA run). ok is false if dst is
+// unreachable. The returned path is freshly allocated.
 //
 // Reconstruction walks backwards from dst over tight edges (edges with
 // dist[u] + w == dist[v]) using a depth-first search with a visited set.
 // Any simple tight path from src to dst telescopes to dist[dst], and the
 // visited set makes the walk immune to zero-weight cycles, which bounds
 // graphs contain whenever a channel has L == U.
-func (g *Graph) LongestPath(src, dst int) (weight int64, path []int, ok bool, err error) {
-	dist, err := g.Longest(src)
-	if err != nil {
-		return 0, nil, false, err
-	}
+func (g *Graph) PathFrom(s *Scratch, dist []int64, src, dst int) (path []int, ok bool, err error) {
 	if dst < 0 || dst >= len(dist) || dist[dst] == NegInf {
-		return 0, nil, false, nil
+		return nil, false, nil
 	}
-	// Iterative DFS from dst backwards over tight edges.
-	visited := make([]bool, len(dist))
-	from := make([]int, len(dist)) // tight-walk successor towards dst
-	for i := range from {
+	s.ensure(len(dist))
+	visited := s.visited
+	from := s.from // tight-walk successor towards dst
+	for i := range visited {
+		visited[i] = false
 		from[i] = -1
 	}
-	stack := []int{dst}
+	stack := append(s.stack[:0], dst)
 	visited[dst] = true
 	found := dst == src
 	for len(stack) > 0 && !found {
@@ -205,17 +375,64 @@ func (g *Graph) LongestPath(src, dst int) (weight int64, path []int, ok bool, er
 			stack = append(stack, u)
 		}
 	}
+	s.stack = stack[:0]
 	if !found {
 		// dst is reachable, so a fully tight optimal path exists; not
 		// finding one indicates internal inconsistency.
-		return 0, nil, false, fmt.Errorf("graph: no tight path %d->%d despite dist %d", src, dst, dist[dst])
+		return nil, false, fmt.Errorf("graph: no tight path %d->%d despite dist %d", src, dst, dist[dst])
 	}
 	path = append(path, src)
 	for at := src; at != dst; {
 		at = from[at]
 		path = append(path, at)
 	}
-	return dist[dst], path, true, nil
+	return path, true, nil
+}
+
+// RemoveEdge deletes one occurrence of the edge u --w--> v, swapping the
+// last entries of the affected adjacency lists into its slots. Adjacency
+// ORDER is therefore not preserved — longest-path distances are unaffected,
+// but callers relying on insertion-ordered tight-path reconstruction must
+// not mix it with removal. It reports whether the edge was found.
+func (g *Graph) RemoveEdge(u, v, w int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	if !removeEntry(&g.adj[u], v, w) {
+		return false
+	}
+	if !removeEntry(&g.radj[v], u, w) {
+		panic(fmt.Sprintf("graph: edge (%d,%d,%d) present forward but not backward", u, v, w))
+	}
+	return true
+}
+
+func removeEntry(es *[]Edge, to, w int) bool {
+	s := *es
+	for i := range s {
+		if s[i].To == to && s[i].Weight == w {
+			last := len(s) - 1
+			s[i] = s[last]
+			*es = s[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// PopVertex removes the most recently added vertex, which must be isolated
+// (remove its edges first). It is the rollback companion of AddVertex for
+// speculative query vertices.
+func (g *Graph) PopVertex() {
+	last := len(g.adj) - 1
+	if last < 0 {
+		panic("graph: PopVertex on empty graph")
+	}
+	if len(g.adj[last]) != 0 || len(g.radj[last]) != 0 {
+		panic(fmt.Sprintf("graph: PopVertex on non-isolated vertex %d", last))
+	}
+	g.adj = g.adj[:last]
+	g.radj = g.radj[:last]
 }
 
 // Reachable reports whether dst is reachable from src.

@@ -11,12 +11,18 @@
 // messages the Policy scheduled, waits for every receiving process to
 // absorb its batch and answer with its actions, and floods the new states
 // onward. Processes never see the tick value.
+//
+// The environment mirrors the simulator's allocation profile: arrivals and
+// externals live in horizon-indexed slice buckets (recycled through a
+// freelist) instead of per-tick maps, per-process delivery slabs replace
+// per-tick grouping maps and their sort, message payloads are immutable
+// run.Snapshot values shared by every out-arc of a state, and the receipt
+// and reply plumbing is reused across batches.
 package live
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/clockless/zigzag/internal/model"
@@ -27,7 +33,8 @@ import (
 // Agent is the application logic of one process. OnState is called from the
 // process's own goroutine at every new local state, with the process's
 // current view (structure only — no times) and the external labels absorbed
-// in the creating batch. The returned labels are recorded as actions
+// in the creating batch. The externals slice is reused between batches;
+// agents must not retain it. The returned labels are recorded as actions
 // performed at that state.
 type Agent interface {
 	OnState(v *run.View, externals []string) (actions []string)
@@ -68,7 +75,9 @@ type Result struct {
 	Actions []Action
 }
 
-// batch is what the environment hands a process goroutine at one tick.
+// batch is what the environment hands a process goroutine at one tick. The
+// receipts and externals slices are owned by the environment and reused
+// between batches; the process must be done with them when it replies.
 type batch struct {
 	receipts  []run.Receipt
 	externals []string
@@ -78,9 +87,18 @@ type batch struct {
 // procReply is what the process goroutine answers with.
 type procReply struct {
 	node    run.BasicNode
-	payload *run.View // frozen history, flooded to all out-neighbours
+	payload *run.Snapshot // frozen history, shared by every out-arc flood
 	actions []string
 	err     error
+}
+
+// arrival is one scheduled delivery: the sender's node and frozen history,
+// bound for toProc.
+type arrival struct {
+	from    run.BasicNode
+	payload *run.Snapshot
+	toProc  model.ProcID
+	send    model.Time
 }
 
 // Run executes the configuration. It is deterministic for deterministic
@@ -95,9 +113,10 @@ func Run(cfg Config) (*Result, error) {
 		policy = sim.Eager{}
 	}
 	net := cfg.Net
+	n := net.N()
 
 	// Spawn one goroutine per process, each owning its View and Agent.
-	inboxes := make([]chan batch, net.N())
+	inboxes := make([]chan batch, n)
 	var wg sync.WaitGroup
 	for _, p := range net.Procs() {
 		ch := make(chan batch) // unbuffered: lockstep with the environment
@@ -119,7 +138,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 				b.reply <- procReply{
 					node:    node,
-					payload: view.Clone(),
+					payload: view.Snapshot(),
 					actions: actions,
 				}
 			}
@@ -132,60 +151,67 @@ func Run(cfg Config) (*Result, error) {
 		wg.Wait()
 	}()
 
-	// Environment state: scheduled arrivals and the external timetable.
-	type arrival struct {
-		from    run.BasicNode
-		payload *run.View
-		toProc  model.ProcID
-		send    model.Time
-	}
-	arrivals := make(map[model.Time][]arrival)
-	extAt := make(map[model.Time]map[model.ProcID][]string)
+	// Environment state: horizon-indexed arrival buckets (with consumed
+	// bucket backing recycled through a freelist) and the external
+	// timetable, mirroring sim.Simulate.
+	arrivals := make([][]arrival, cfg.Horizon+1)
+	var free [][]arrival
+	extAt := make([][]run.ExternalEvent, cfg.Horizon+1)
 	for _, e := range cfg.Externals {
 		if !net.ValidProc(e.Proc) || e.Time < 1 || e.Time > cfg.Horizon {
 			return nil, fmt.Errorf("live: bad external %q to %d at %d", e.Label, e.Proc, e.Time)
 		}
-		if extAt[e.Time] == nil {
-			extAt[e.Time] = make(map[model.ProcID][]string)
-		}
-		extAt[e.Time][e.Proc] = append(extAt[e.Time][e.Proc], e.Label)
+		extAt[e.Time] = append(extAt[e.Time], e)
 	}
 
 	bl := run.NewBuilder(net, cfg.Horizon)
 	res := &Result{}
 
-	for t := model.Time(1); t <= cfg.Horizon; t++ {
-		// Group this tick's deliveries per process.
-		byProc := make(map[model.ProcID][]arrival)
-		for _, a := range arrivals[t] {
-			byProc[a.toProc] = append(byProc[a.toProc], a)
-		}
-		delete(arrivals, t)
-		for p := range extAt[t] {
-			if _, ok := byProc[p]; !ok {
-				byProc[p] = nil
-			}
-		}
-		// Deterministic process order.
-		procs := make([]model.ProcID, 0, len(byProc))
-		for p := range byProc {
-			procs = append(procs, p)
-		}
-		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	// Per-process slabs for the current tick, reused across ticks: the
+	// arrivals grouped by receiver and the external labels. Iterating
+	// processes in id order replaces the per-tick map + sort of the old
+	// environment loop.
+	procArr := make([][]arrival, n)
+	procExt := make([][]string, n)
+	receipts := make([]run.Receipt, 0, 8)
+	reply := make(chan procReply, 1)
 
-		for _, p := range procs {
-			var receipts []run.Receipt
-			for _, a := range byProc[p] {
+	for t := model.Time(1); t <= cfg.Horizon; t++ {
+		if arrivals[t] == nil && extAt[t] == nil {
+			continue
+		}
+		for _, a := range arrivals[t] {
+			procArr[a.toProc-1] = append(procArr[a.toProc-1], a)
+		}
+		if arrivals[t] != nil {
+			free = append(free, arrivals[t][:0])
+			arrivals[t] = nil
+		}
+		// Record the tick's externals up front in configuration order —
+		// exactly as sim.Simulate does, so the recordings stay
+		// byte-identical — while slotting the labels into per-process slabs
+		// for the batches.
+		for _, e := range extAt[t] {
+			bl.External(run.ExternalEvent{Proc: e.Proc, Time: t, Label: e.Label})
+			procExt[e.Proc-1] = append(procExt[e.Proc-1], e.Label)
+		}
+
+		for p := model.ProcID(1); int(p) <= n; p++ {
+			arr := procArr[p-1]
+			ext := procExt[p-1]
+			if len(arr) == 0 && len(ext) == 0 {
+				continue
+			}
+			procArr[p-1] = arr[:0]
+			procExt[p-1] = ext[:0]
+			receipts = receipts[:0]
+			for _, a := range arr {
 				receipts = append(receipts, run.Receipt{From: a.from, Payload: a.payload})
 				bl.Message(run.MessageEvent{
 					FromProc: a.from.Proc, ToProc: p, SendTime: a.send, RecvTime: t,
 				})
 			}
-			for _, l := range extAt[t][p] {
-				bl.External(run.ExternalEvent{Proc: p, Time: t, Label: l})
-			}
-			reply := make(chan procReply, 1)
-			inboxes[p-1] <- batch{receipts: receipts, externals: extAt[t][p], reply: reply}
+			inboxes[p-1] <- batch{receipts: receipts, externals: ext, reply: reply}
 			pr := <-reply
 			if pr.err != nil {
 				return nil, fmt.Errorf("live: process %d: %w", p, pr.err)
@@ -194,7 +220,7 @@ func Run(cfg Config) (*Result, error) {
 				res.Actions = append(res.Actions, Action{Proc: p, Node: pr.node, Time: t, Label: label})
 			}
 			// FFIP flood: schedule the new state's messages straight off the
-			// dense out-arc slice, mirroring the simulator's hot loop.
+			// dense out-arc slice, every one sharing the state's snapshot.
 			for _, a := range net.OutArcs(p) {
 				s := sim.Send{From: p, To: a.To, SendTime: t}
 				lat := policy.Latency(s, a.Bounds)
@@ -203,6 +229,14 @@ func Run(cfg Config) (*Result, error) {
 				}
 				if t+lat > cfg.Horizon {
 					continue
+				}
+				if arrivals[t+lat] == nil {
+					if len(free) > 0 {
+						arrivals[t+lat] = free[len(free)-1]
+						free = free[:len(free)-1]
+					} else {
+						arrivals[t+lat] = make([]arrival, 0, len(net.OutArcs(p)))
+					}
 				}
 				arrivals[t+lat] = append(arrivals[t+lat], arrival{
 					from:    pr.node,

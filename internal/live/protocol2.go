@@ -1,24 +1,40 @@
 package live
 
 import (
+	"errors"
+
 	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/coord"
 	"github.com/clockless/zigzag/internal/run"
 )
 
+// errDifferentView reports a Protocol2 agent driven with a view other than
+// the one its incremental engine was built on.
+var errDifferentView = errors.New("live: Protocol2 observed a different view than its engine was built on")
+
 // Protocol2 is the knowledge-optimal coordination agent for B, running
 // online inside B's process goroutine. At every new local state it looks
-// for C's go node in its view, builds the extended bounds graph from the
+// for C's go node in its view, consults the extended bounds graph of the
 // view (structure only — the agent cannot read any clock), and performs b
 // the first time the required precedence is known. It is the live
 // counterpart of (coord.Task).RunOptimal, and the two must agree exactly.
+//
+// By default the agent maintains the graph incrementally across states with
+// a bounds.Online engine, paying only for the view's growth per state; the
+// engine's answers coincide exactly with a fresh per-state build, so the
+// agreement theorem is engine-independent.
 type Protocol2 struct {
 	Task coord.Task
 	// ActLabel is the action recorded when b is performed ("b" if empty).
 	ActLabel string
+	// Rebuild forces a fresh NewExtendedFromView at every state instead of
+	// the incremental engine — the rebuild-per-state baseline that
+	// benchmarks and differential tests compare against.
+	Rebuild bool
 
-	acted bool
-	err   error
+	acted  bool
+	err    error
+	engine *bounds.Online
 }
 
 // Err reports the first internal error the agent encountered (knowledge
@@ -39,11 +55,6 @@ func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 		return nil // C's send is not yet in B's past
 	}
 	aNode := run.At(sigmaC).Hop(p.Task.A)
-	ext, err := bounds.NewExtendedFromView(v)
-	if err != nil {
-		p.err = err
-		return nil
-	}
 	sigma := run.At(v.Origin())
 	var theta1, theta2 run.GeneralNode
 	if p.Task.Kind == coord.Late {
@@ -51,7 +62,27 @@ func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 	} else {
 		theta1, theta2 = sigma, aNode
 	}
-	knows, err := ext.Knows(theta1, p.Task.X, theta2)
+	var knows bool
+	var err error
+	if p.Rebuild {
+		ext, berr := bounds.NewExtendedFromView(v)
+		if berr != nil {
+			p.err = berr
+			return nil
+		}
+		knows, err = ext.Knows(theta1, p.Task.X, theta2)
+	} else {
+		if p.engine == nil {
+			p.engine = bounds.NewOnline(v)
+		} else if p.engine.View() != v {
+			// The incremental engine is bound to the view it was built on; a
+			// harness that hands one agent two different views would
+			// otherwise get silently stale answers.
+			p.err = errDifferentView
+			return nil
+		}
+		knows, err = p.engine.Knows(theta1, p.Task.X, theta2)
+	}
 	if err != nil {
 		p.err = err
 		return nil

@@ -206,7 +206,14 @@ func (bl *Builder) Build() (*Run, error) {
 		if a.To.Proc != b.To.Proc {
 			return a.To.Proc < b.To.Proc
 		}
-		return a.From.Proc < b.From.Proc
+		if a.From.Proc != b.From.Proc {
+			return a.From.Proc < b.From.Proc
+		}
+		// Two messages on one channel can share a receive batch (sent at
+		// different instants); SendTime makes the key total, so the
+		// recorded order is independent of event insertion order — the
+		// environment loops of sim and live interleave differently.
+		return a.SendTime < b.SendTime
 	})
 	// Re-index after sorting deliveries. Deliveries into one node share its
 	// (RecvTime, To.Proc) batch key, so after the sort each inbox is one

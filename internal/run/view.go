@@ -3,9 +3,15 @@ package run
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/clockless/zigzag/internal/model"
 )
+
+// viewIDs hands out a unique identity per View instance; snapshots carry
+// their source view's id so receivers can watermark how much of that
+// source's append-only logs they have already merged.
+var viewIDs atomic.Uint64
 
 // View is the subjective information content of a node's local state under
 // an FFIP: the structure of its causal past — which nodes exist, which
@@ -18,16 +24,43 @@ import (
 // Views come from two places: ViewOf extracts one from a recorded run
 // (offline analysis), and the live engine of internal/live accumulates one
 // message by message inside each process goroutine (online decisions).
+//
+// A view only ever grows, and it records that growth in append-only logs:
+// DeliveryCount/DeliveriesSince expose the delivery log as a cheap delta
+// API (the incremental knowledge engine bounds.Online consumes it), and
+// Snapshot freezes the logs into an immutable, shareable payload for
+// outgoing FFIP messages without deep-copying the history.
 type View struct {
 	net    *model.Network
 	origin BasicNode
+	// id is this view's unique identity (see viewIDs).
+	id uint64
 	// members[p-1] is the boundary index of process p (-1 if absent).
 	members []int
-	// sent[from][toProc] = receiving node, for deliveries inside the view.
-	sent map[BasicNode]map[model.ProcID]BasicNode
+	// sent indexes the unique delivery per (sender node, destination
+	// process) for DeliveryTo lookups and log deduplication.
+	sent map[sentKey]BasicNode
 	// externals[node] lists external-input labels absorbed at that node.
 	externals map[BasicNode][]string
+
+	// log is the append-only record of every distinct delivery, in
+	// first-recorded order, with the dense channel id resolved and the
+	// (structurally unknown) times zero.
+	log []Delivery
+	// extLog is the append-only record of every distinct (node, label)
+	// external input, mirroring externals.
+	extLog []External
+
+	// merged[id] records how much of source view id's logs this view has
+	// already merged. Successive snapshots of one view are prefix-extensions
+	// of each other (logs only append), so a receiver that keeps receiving
+	// from the same senders — the FFIP steady state — merges only each
+	// payload's suffix instead of rescanning the whole history.
+	merged map[uint64]logMarks
 }
+
+// logMarks is a per-source watermark into its delivery and external logs.
+type logMarks struct{ log, ext int }
 
 // ViewOf extracts the view of sigma from a recorded run.
 func ViewOf(r *Run, sigma BasicNode) (*View, error) {
@@ -38,19 +71,20 @@ func ViewOf(r *Run, sigma BasicNode) (*View, error) {
 	v := &View{
 		net:       r.net,
 		origin:    sigma,
+		id:        viewIDs.Add(1),
 		members:   append([]int(nil), ps.members...),
-		sent:      make(map[BasicNode]map[model.ProcID]BasicNode),
+		sent:      make(map[sentKey]BasicNode),
 		externals: make(map[BasicNode][]string),
 	}
 	for _, d := range r.deliveries {
 		if !ps.Contains(d.To) {
 			continue
 		}
-		v.recordDelivery(d.From, d.To)
+		v.recordDelivery(d.From, d.To, d.Chan)
 	}
 	for _, e := range r.externals {
 		if ps.Contains(e.To) {
-			v.externals[e.To] = append(v.externals[e.To], e.Label)
+			v.recordExternal(e.To, e.Label)
 		}
 	}
 	return v, nil
@@ -61,8 +95,9 @@ func NewLocalView(net *model.Network, p model.ProcID) *View {
 	v := &View{
 		net:       net,
 		origin:    BasicNode{Proc: p, Index: 0},
+		id:        viewIDs.Add(1),
 		members:   make([]int, net.N()),
-		sent:      make(map[BasicNode]map[model.ProcID]BasicNode),
+		sent:      make(map[sentKey]BasicNode),
 		externals: make(map[BasicNode][]string),
 	}
 	for i := range v.members {
@@ -72,13 +107,23 @@ func NewLocalView(net *model.Network, p model.ProcID) *View {
 	return v
 }
 
-func (v *View) recordDelivery(from BasicNode, to BasicNode) {
-	m := v.sent[from]
-	if m == nil {
-		m = make(map[model.ProcID]BasicNode)
-		v.sent[from] = m
+func (v *View) recordDelivery(from, to BasicNode, ch model.ChanID) {
+	key := sentKey{from: from, to: to.Proc}
+	if _, ok := v.sent[key]; ok {
+		return
 	}
-	m[to.Proc] = to
+	v.sent[key] = to
+	v.log = append(v.log, Delivery{From: from, To: to, Chan: ch})
+}
+
+func (v *View) recordExternal(node BasicNode, label string) {
+	for _, l := range v.externals[node] {
+		if l == label {
+			return
+		}
+	}
+	v.externals[node] = append(v.externals[node], label)
+	v.extLog = append(v.extLog, External{To: node, Label: label})
 }
 
 // Net returns the network the view lives in.
@@ -121,24 +166,26 @@ func (v *View) Size() int {
 // DeliveryTo returns the node that received the message sent at from to
 // process to, if that delivery is inside the view.
 func (v *View) DeliveryTo(from BasicNode, to model.ProcID) (BasicNode, bool) {
-	m, ok := v.sent[from]
-	if !ok {
-		return BasicNode{}, false
-	}
-	b, ok := m[to]
+	b, ok := v.sent[sentKey{from: from, to: to}]
 	return b, ok
 }
+
+// DeliveryCount returns the number of distinct deliveries the view has
+// recorded. It only ever grows, so it serves as the watermark for
+// DeliveriesSince.
+func (v *View) DeliveryCount() int { return len(v.log) }
+
+// DeliveriesSince returns the deliveries recorded since the watermark (a
+// prior DeliveryCount), in recording order, with dense channel ids resolved
+// and zero times. The result is a sub-slice of the append-only log: callers
+// must not mutate it, and it stays valid as the view keeps growing.
+func (v *View) DeliveriesSince(mark int) []Delivery { return v.log[mark:] }
 
 // Deliveries returns the view's deliveries as (from, to) node pairs in
 // deterministic order, with the dense channel id resolved. Send and receive
 // times are structural unknowns and left zero.
 func (v *View) Deliveries() []Delivery {
-	var out []Delivery
-	for from, m := range v.sent {
-		for _, to := range m {
-			out = append(out, Delivery{From: from, To: to, Chan: v.net.ChanIDOf(from.Proc, to.Proc)})
-		}
-	}
+	out := append([]Delivery(nil), v.log...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.From.Proc != b.From.Proc {
@@ -231,16 +278,55 @@ func (v *View) FindExternal(p model.ProcID, label string) (BasicNode, bool) {
 	return BasicNode{}, false
 }
 
+// Snapshot is a view's content frozen at one instant: the payload of an
+// outgoing FFIP message (the sender's history at send time). It shares the
+// view's append-only log backing instead of deep-copying it — the view only
+// ever appends past the snapshot's length, so a Snapshot is immutable and
+// safe to read from other goroutines while the owning process keeps
+// absorbing. Taking one costs a copy of the n boundary indices, nothing
+// proportional to the history.
+type Snapshot struct {
+	net     *model.Network
+	origin  BasicNode
+	source  uint64 // id of the view the snapshot froze
+	members []int
+	log     []Delivery
+	extLog  []External
+}
+
+// Snapshot freezes the view's current content.
+func (v *View) Snapshot() *Snapshot {
+	return &Snapshot{
+		net:     v.net,
+		origin:  v.origin,
+		source:  v.id,
+		members: append([]int(nil), v.members...),
+		log:     v.log[:len(v.log):len(v.log)],
+		extLog:  v.extLog[:len(v.extLog):len(v.extLog)],
+	}
+}
+
+// Origin returns the node whose local state the snapshot captured.
+func (s *Snapshot) Origin() BasicNode { return s.origin }
+
+// Contains reports membership of a basic node in the snapshot.
+func (s *Snapshot) Contains(b BasicNode) bool {
+	if b.Proc < 1 || int(b.Proc) > len(s.members) || b.Index < 0 {
+		return false
+	}
+	return b.Index <= s.members[b.Proc-1]
+}
+
 // Receipt describes one incoming FFIP message for Absorb: the sender's node
-// and the sender's view at that node (the full-information payload).
+// and the sender's frozen view at that node (the full-information payload).
 type Receipt struct {
 	From    BasicNode
-	Payload *View
+	Payload *Snapshot
 }
 
 // Absorb advances the view by one receive batch: the owning process moves
-// to its next local state, merges every sender's payload view, records the
-// batch's deliveries and external inputs, and returns the new node. It
+// to its next local state, merges every sender's payload snapshot, records
+// the batch's deliveries and external inputs, and returns the new node. It
 // implements the FFIP state transition on the receiving side.
 func (v *View) Absorb(receipts []Receipt, externalLabels []string) (BasicNode, error) {
 	p := v.origin.Proc
@@ -256,62 +342,73 @@ func (v *View) Absorb(receipts []Receipt, externalLabels []string) (BasicNode, e
 		if !v.Contains(rc.From) {
 			return BasicNode{}, fmt.Errorf("run: receipt from %s not covered by its own payload", rc.From)
 		}
-		v.recordDelivery(rc.From, next)
+		v.recordDelivery(rc.From, next, v.net.ChanIDOf(rc.From.Proc, p))
 	}
 	for _, l := range externalLabels {
-		v.externals[next] = append(v.externals[next], l)
+		v.recordExternal(next, l)
 	}
 	return next, nil
 }
 
-// merge unions another view into this one.
-func (v *View) merge(o *View) error {
-	if len(o.members) != len(v.members) {
+// merge unions a payload snapshot into this view. Everything below the
+// watermark recorded for the snapshot's source view was merged from an
+// earlier (prefix) snapshot already, so only the suffix is scanned.
+func (v *View) merge(s *Snapshot) error {
+	if len(s.members) != len(v.members) {
 		return fmt.Errorf("run: merging views over different networks")
 	}
-	for i, k := range o.members {
+	for i, k := range s.members {
 		if k > v.members[i] {
 			v.members[i] = k
 		}
 	}
-	for from, m := range o.sent {
-		for _, node := range m {
-			v.recordDelivery(from, node)
-		}
+	if v.merged == nil {
+		v.merged = make(map[uint64]logMarks)
 	}
-	for node, labels := range o.externals {
-		have := make(map[string]bool, len(v.externals[node]))
-		for _, l := range v.externals[node] {
-			have[l] = true
-		}
-		for _, l := range labels {
-			if !have[l] {
-				v.externals[node] = append(v.externals[node], l)
-			}
-		}
+	mk := v.merged[s.source]
+	for i := mk.log; i < len(s.log); i++ {
+		v.recordDelivery(s.log[i].From, s.log[i].To, s.log[i].Chan)
 	}
+	for i := mk.ext; i < len(s.extLog); i++ {
+		v.recordExternal(s.extLog[i].To, s.extLog[i].Label)
+	}
+	// Channels need not be FIFO: a snapshot older than one already merged
+	// can arrive later, so the watermark only ever advances.
+	if len(s.log) > mk.log {
+		mk.log = len(s.log)
+	}
+	if len(s.extLog) > mk.ext {
+		mk.ext = len(s.extLog)
+	}
+	v.merged[s.source] = mk
 	return nil
 }
 
-// Clone returns a deep copy, used as the payload of outgoing FFIP messages
-// (the sender's history frozen at send time).
+// Clone returns a deep copy with its own logs and indexes, for callers that
+// need an independently growable view (message payloads use the far cheaper
+// Snapshot instead).
 func (v *View) Clone() *View {
 	c := &View{
 		net:       v.net,
 		origin:    v.origin,
+		id:        viewIDs.Add(1),
 		members:   append([]int(nil), v.members...),
-		sent:      make(map[BasicNode]map[model.ProcID]BasicNode, len(v.sent)),
+		sent:      make(map[sentKey]BasicNode, len(v.sent)),
 		externals: make(map[BasicNode][]string, len(v.externals)),
+		log:       append([]Delivery(nil), v.log...),
+		extLog:    append([]External(nil), v.extLog...),
 	}
-	for from, m := range v.sent {
-		cm := make(map[model.ProcID]BasicNode, len(m))
-		for to, node := range m {
-			cm[to] = node
-		}
-		c.sent[from] = cm
+	for key, node := range v.sent {
+		c.sent[key] = node
 	}
 	for node, labels := range v.externals {
 		c.externals[node] = append([]string(nil), labels...)
+	}
+	if len(v.merged) > 0 {
+		c.merged = make(map[uint64]logMarks, len(v.merged))
+		for id, mk := range v.merged {
+			c.merged[id] = mk
+		}
 	}
 	return c
 }

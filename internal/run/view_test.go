@@ -102,7 +102,7 @@ func TestViewAbsorbMatchesOffline(t *testing.T) {
 		t.Errorf("node = %s", n1)
 	}
 	v2 := NewLocalView(net, 2)
-	if _, err := v2.Absorb([]Receipt{{From: n1, Payload: v1.Clone()}}, nil); err != nil {
+	if _, err := v2.Absorb([]Receipt{{From: n1, Payload: v1.Snapshot()}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	want, err := ViewOf(r, BasicNode{Proc: 2, Index: 1})
@@ -113,7 +113,7 @@ func TestViewAbsorbMatchesOffline(t *testing.T) {
 		t.Error("accumulated view disagrees with extracted view")
 	}
 	v3 := NewLocalView(net, 3)
-	if _, err := v3.Absorb([]Receipt{{From: BasicNode{Proc: 2, Index: 1}, Payload: v2.Clone()}}, nil); err != nil {
+	if _, err := v3.Absorb([]Receipt{{From: BasicNode{Proc: 2, Index: 1}, Payload: v2.Snapshot()}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	want3, err := ViewOf(r, BasicNode{Proc: 3, Index: 1})
@@ -129,7 +129,7 @@ func TestAbsorbRejectsUncoveredSender(t *testing.T) {
 	net := model.MustComplete(2, 1, 2)
 	v := NewLocalView(net, 2)
 	// A receipt claiming to come from a node its own payload doesn't cover.
-	_, err := v.Absorb([]Receipt{{From: BasicNode{Proc: 1, Index: 5}, Payload: NewLocalView(net, 1)}}, nil)
+	_, err := v.Absorb([]Receipt{{From: BasicNode{Proc: 1, Index: 5}, Payload: NewLocalView(net, 1).Snapshot()}}, nil)
 	if err == nil {
 		t.Fatal("uncovered sender accepted")
 	}
