@@ -416,6 +416,28 @@ func BenchmarkProtocol2Rebuild(b *testing.B) {
 	}
 }
 
+// BenchmarkProtocol2Shared (B1): m concurrent Protocol2 agents deciding
+// over one run through ONE shared per-run knowledge engine (bounds.Shared)
+// — the standing bounds graph is built once and every agent pays only its
+// frontier handle. Compare against BenchmarkProtocol2MultiOnline, the
+// identical workload on m independent bounds.Online engines.
+func BenchmarkProtocol2Shared(b *testing.B) {
+	for _, m := range scenario.MultiAgentSizes {
+		c := bench.Protocol2Shared(m)
+		b.Run(fmt.Sprintf("m=%d", m), c.Run)
+	}
+}
+
+// BenchmarkProtocol2MultiOnline is the per-agent-engine baseline recorded
+// alongside BenchmarkProtocol2Shared: every agent maintains its own
+// standing graph of (almost entirely) the same run.
+func BenchmarkProtocol2MultiOnline(b *testing.B) {
+	for _, m := range scenario.MultiAgentSizes {
+		c := bench.Protocol2MultiOnline(m)
+		b.Run(fmt.Sprintf("m=%d", m), c.Run)
+	}
+}
+
 // BenchmarkFacadeRoundTrip exercises the public API end to end, as the
 // quickstart example does.
 func BenchmarkFacadeRoundTrip(b *testing.B) {

@@ -5,15 +5,24 @@
 // perf-relevant change turns the benchmark numbers quoted in commit
 // messages into a queryable series; EXPERIMENTS.md documents the workflow.
 //
+// With -compare the freshly measured results are additionally diffed
+// against a previously committed snapshot, reporting per-benchmark deltas
+// in ns/op and allocs/op (and flagging cells that appear or disappear), so
+// CI and reviewers can read a perf change without opening two JSON files.
+// -max-regress turns the report into a gate: any benchmark whose ns/op
+// regresses beyond the given percentage fails the run.
+//
 // Usage:
 //
 //	bench-export [-out file] [-benchtime 1x|100ms|...] [-filter substr] [-list]
+//	             [-compare old.json] [-max-regress pct]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -42,13 +51,31 @@ type snapshot struct {
 	Results   []result `json:"results"`
 }
 
+// matchFilter reports whether a case name passes the -filter flag: empty
+// matches everything, otherwise any of the |-separated substrings may hit
+// (so one invocation can select benchmark pairs, e.g.
+// "Protocol2Shared|Protocol2MultiOnline").
+func matchFilter(name, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, sub := range strings.Split(filter, "|") {
+		if sub != "" && strings.Contains(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	testing.Init() // registers -test.* flags: required to Benchmark outside go test
 	var (
-		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
-		benchtime = flag.String("benchtime", "1x", "per-benchmark budget, as go test -benchtime (e.g. 1x, 100ms)")
-		filter    = flag.String("filter", "", "only run cases whose name contains this substring")
-		list      = flag.Bool("list", false, "list case names and exit")
+		out        = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		benchtime  = flag.String("benchtime", "1x", "per-benchmark budget, as go test -benchtime (e.g. 1x, 100ms)")
+		filter     = flag.String("filter", "", "only run cases whose name contains one of these |-separated substrings")
+		list       = flag.Bool("list", false, "list case names and exit")
+		compare    = flag.String("compare", "", "diff the fresh results against this committed snapshot")
+		maxRegress = flag.Float64("max-regress", 0, "with -compare: fail if any ns/op delta exceeds this percentage (0 = report only)")
 	)
 	flag.Parse()
 	cases := bench.ExportCases()
@@ -72,7 +99,7 @@ func main() {
 		Benchtime: *benchtime,
 	}
 	for _, c := range cases {
-		if *filter != "" && !strings.Contains(c.Name, *filter) {
+		if !matchFilter(c.Name, *filter) {
 			continue
 		}
 		br := testing.Benchmark(c.Run)
@@ -111,4 +138,73 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("perf snapshot written to %s (%d cells)\n", path, len(snap.Results))
+
+	if *compare != "" {
+		regressed, err := compareSnapshots(os.Stdout, *compare, snap, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if regressed {
+			fmt.Fprintf(os.Stderr, "ns/op regressions beyond %.1f%% against %s\n", *maxRegress, *compare)
+			os.Exit(3)
+		}
+	}
+}
+
+// compareSnapshots loads the old snapshot and prints per-benchmark deltas
+// of the fresh results against it: ns/op and allocs/op with percentages,
+// plus markers for cells without a baseline (new benchmarks) and baseline
+// cells the fresh run did not cover (filtered out or removed). It reports
+// whether any ns/op regression exceeded maxRegress (when > 0).
+func compareSnapshots(w io.Writer, oldPath string, fresh snapshot, maxRegress float64) (regressed bool, err error) {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	var old snapshot
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return false, fmt.Errorf("%s: %v", oldPath, err)
+	}
+	base := make(map[string]result, len(old.Results))
+	for _, r := range old.Results {
+		base[r.Name] = r
+	}
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			return "    n/a"
+		}
+		return fmt.Sprintf("%+6.1f%%", 100*(newV-oldV)/oldV)
+	}
+	fmt.Fprintf(w, "\ncomparison against %s (%s, benchtime %s):\n", oldPath, old.Date, old.Benchtime)
+	covered := make(map[string]bool, len(fresh.Results))
+	for _, r := range fresh.Results {
+		covered[r.Name] = true
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-28s %12.0f ns/op %10d allocs/op   (new benchmark, no baseline)\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		if maxRegress > 0 && delta > maxRegress {
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-28s ns/op %12.0f -> %12.0f (%s)   allocs/op %8d -> %8d (%s)\n",
+			r.Name, b.NsPerOp, r.NsPerOp, pct(b.NsPerOp, r.NsPerOp),
+			b.AllocsPerOp, r.AllocsPerOp, pct(float64(b.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+	missing := 0
+	for _, b := range old.Results {
+		if !covered[b.Name] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(w, "  (%d baseline cells not measured in this run)\n", missing)
+	}
+	return regressed, nil
 }

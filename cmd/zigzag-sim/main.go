@@ -10,12 +10,19 @@
 //	zigzag-sim [-scenario name] [-policy eager|lazy|random] [-seed n]
 //	           [-x n] [-timeline n] [-list] [-dump file]
 //	zigzag-sim -sweep [-seeds n] [-workers n] [-x n] [-format table|csv|json]
+//	           [-sweep-x 0,2,4] [-sweep-scale 1,1.5,2] [-sweep-rand 8:12:1,12:20:2]
+//
+// The -sweep-* flags add grid axes beyond the registry: task-separation
+// overrides, channel-bound scaling factors and extra random-topology
+// shapes (procs:extra:seed).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/model"
@@ -39,6 +46,9 @@ func main() {
 		seeds    = flag.Int("seeds", 8, "number of seeds per (scenario, policy) cell in a sweep")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 		format   = flag.String("format", "table", "sweep output format: table, csv or json")
+		sweepX   = flag.String("sweep-x", "", "comma-separated task-separation overrides as a sweep axis (e.g. 0,2,4; overrides -x for the sweep)")
+		sweepSc  = flag.String("sweep-scale", "", "comma-separated channel-bound scaling factors as a sweep axis (e.g. 1,1.5,2)")
+		sweepRnd = flag.String("sweep-rand", "", "extra random topologies as procs:extra:seed triples, comma-separated (e.g. 8:12:1,12:20:2)")
 	)
 	flag.Parse()
 	all := scenario.Registry(*x)
@@ -53,7 +63,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown output format %q (want table, csv or json)\n", *format)
 			os.Exit(2)
 		}
-		if err := runSweep(all, *seeds, *workers, *format); err != nil {
+		axes, err := parseAxes(*x, *sweepX, *sweepSc, *sweepRnd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := runSweep(axes, *seeds, *workers, *format); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -146,16 +161,63 @@ func main() {
 	}
 }
 
-// runSweep runs the full registry × policy × seed grid and prints the
-// aggregates in deterministic order, in the requested format. The banner is
-// only printed for the human-readable table so that csv/json output can be
-// piped straight into figure scripts.
-func runSweep(all map[string]*scenario.Scenario, seeds, workers int, format string) error {
+// parseAxes assembles the sweep's scenario axes from the CLI flags: the
+// x list (falling back to the single -x override), the bound-scale list
+// and the extra random shapes.
+func parseAxes(x int, xsFlag, scalesFlag, randFlag string) (sweep.Axes, error) {
+	axes := sweep.Axes{}
+	if xsFlag == "" {
+		axes.Xs = []int{x}
+	} else {
+		for _, tok := range strings.Split(xsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return axes, fmt.Errorf("bad -sweep-x entry %q: %v", tok, err)
+			}
+			axes.Xs = append(axes.Xs, v)
+		}
+	}
+	if scalesFlag != "" {
+		for _, tok := range strings.Split(scalesFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return axes, fmt.Errorf("bad -sweep-scale entry %q: %v", tok, err)
+			}
+			axes.Scales = append(axes.Scales, v)
+		}
+	}
+	if randFlag != "" {
+		for _, tok := range strings.Split(randFlag, ",") {
+			parts := strings.Split(strings.TrimSpace(tok), ":")
+			if len(parts) != 3 {
+				return axes, fmt.Errorf("bad -sweep-rand entry %q (want procs:extra:seed)", tok)
+			}
+			procs, err1 := strconv.Atoi(parts[0])
+			extra, err2 := strconv.Atoi(parts[1])
+			seed, err3 := strconv.ParseInt(parts[2], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return axes, fmt.Errorf("bad -sweep-rand entry %q (want procs:extra:seed)", tok)
+			}
+			axes.Random = append(axes.Random, sweep.RandomShape{Procs: procs, Extra: extra, Seed: seed})
+		}
+	}
+	return axes, nil
+}
+
+// runSweep expands the axes into the scenario × policy × seed grid and
+// prints the aggregates in deterministic order, in the requested format.
+// The banner is only printed for the human-readable table so that csv/json
+// output can be piped straight into figure scripts.
+func runSweep(axes sweep.Axes, seeds, workers int, format string) error {
 	if seeds < 1 {
 		return fmt.Errorf("sweep needs at least one seed, got %d", seeds)
 	}
+	scs, err := axes.Scenarios()
+	if err != nil {
+		return err
+	}
 	grid := sweep.Grid{
-		Scenarios: scenario.All(all),
+		Scenarios: scs,
 		Policies:  sweep.DefaultPolicies(),
 		Seeds:     make([]int64, seeds),
 		Workers:   workers,

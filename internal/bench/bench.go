@@ -13,6 +13,7 @@ import (
 	"github.com/clockless/zigzag/internal/live"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/scenario"
 	"github.com/clockless/zigzag/internal/sim"
 	"github.com/clockless/zigzag/internal/workload"
 )
@@ -75,18 +76,19 @@ func protocol2Task(in *workload.Instance) coord.Task {
 	return task
 }
 
-// stateBatch is one precomputed receive batch of the benchmarked process.
+// stateBatch is one precomputed receive batch of a benchmarked process.
 type stateBatch struct {
+	proc      model.ProcID
 	receipts  []run.Receipt
 	externals []string
 }
 
-// replayBatches reconstructs the receive batches of process bproc from a
-// recorded run, with payload snapshots taken from per-process views evolved
-// in lockstep — the exact payload structure (shared source identities,
-// prefix-extending logs) the live engine produces, so view merges hit the
-// same watermark fast path.
-func replayBatches(r *run.Run, bproc model.ProcID) []stateBatch {
+// replayMulti reconstructs the receive batches of every observed process
+// from a recorded run, in global (time, process) order, with payload
+// snapshots taken from per-process views evolved in lockstep — the exact
+// payload structure (shared source identities, prefix-extending logs) the
+// live engine produces, so view merges hit the same watermark fast path.
+func replayMulti(r *run.Run, observed map[model.ProcID]bool) []stateBatch {
 	net := r.Net()
 	views := make([]*run.View, net.N())
 	for _, p := range net.Procs() {
@@ -112,12 +114,17 @@ func replayBatches(r *run.Run, bproc model.ProcID) []stateBatch {
 				panic(err)
 			}
 			snaps[node] = views[p-1].Snapshot()
-			if p == bproc {
-				out = append(out, stateBatch{receipts: receipts, externals: externals})
+			if observed[p] {
+				out = append(out, stateBatch{proc: p, receipts: receipts, externals: externals})
 			}
 		}
 	}
 	return out
+}
+
+// replayBatches is replayMulti for a single benchmarked process.
+func replayBatches(r *run.Run, bproc model.ProcID) []stateBatch {
+	return replayMulti(r, map[model.ProcID]bool{bproc: true})
 }
 
 // protocol2 measures the per-state online decision loop of Protocol 2 for
@@ -161,6 +168,76 @@ func protocol2(n int, name string, rebuild bool) Case {
 		},
 	}
 }
+
+// protocol2Multi measures m concurrent Protocol2 agents deciding over ONE
+// recorded multi-agent run — the workload the shared per-run engine
+// amortizes. Every agent's required separation is raised beyond
+// knowability, so each re-queries its growing view at every one of its
+// states; only the engine configuration differs between the variants:
+// shared=true subscribes every agent to one bounds.Shared engine (one
+// standing graph, per-agent frontier handles), shared=false gives each
+// agent its own incremental bounds.Online engine (the PR-3 configuration
+// the acceptance criterion compares against).
+func protocol2Multi(m int, name string, shared bool) Case {
+	return Case{
+		Name: fmt.Sprintf("%s/m=%d", name, m),
+		Run: func(b *testing.B) {
+			sc := scenario.MultiAgent(m)
+			tasks := append([]coord.Task(nil), sc.Tasks...)
+			observed := make(map[model.ProcID]bool, m)
+			for i := range tasks {
+				tasks[i].X = 1 << 20 // unknowable: query at every state
+				observed[tasks[i].B] = true
+			}
+			r, err := sim.Simulate(sim.Config{
+				Net: sc.Net, Horizon: sc.Horizon, Policy: sim.NewRandom(11),
+				Externals: sc.Externals,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches := replayMulti(r, observed)
+			if len(batches) == 0 {
+				b.Fatal("no agent ever moves")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var eng *bounds.Shared
+				if shared {
+					eng = bounds.NewShared(sc.Net)
+				}
+				agents := make(map[model.ProcID]*live.Protocol2, m)
+				views := make(map[model.ProcID]*run.View, m)
+				for j := range tasks {
+					agents[tasks[j].B] = &live.Protocol2{Task: tasks[j], Shared: eng}
+					views[tasks[j].B] = run.NewLocalView(sc.Net, tasks[j].B)
+				}
+				for bi := range batches {
+					p := batches[bi].proc
+					if _, err := views[p].Absorb(batches[bi].receipts, batches[bi].externals); err != nil {
+						b.Fatal(err)
+					}
+					agents[p].OnState(views[p], batches[bi].externals)
+				}
+				for _, agent := range agents {
+					if err := agent.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(batches)), "states")
+		},
+	}
+}
+
+// Protocol2Shared is the shared-engine multi-agent decision loop: one
+// bounds.Shared standing graph serves all m agents.
+func Protocol2Shared(m int) Case { return protocol2Multi(m, "Protocol2Shared", true) }
+
+// Protocol2MultiOnline is the per-agent-engine baseline recorded alongside
+// Protocol2Shared: identical workload, m independent bounds.Online engines.
+func Protocol2MultiOnline(m int) Case { return protocol2Multi(m, "Protocol2MultiOnline", false) }
 
 // Protocol2Online is the end-to-end online coordination decision with the
 // incremental bounds.Online engine: every state of B pays only for the
@@ -282,6 +359,12 @@ func ExportCases() []Case {
 	}
 	for _, n := range []int{8, 16, 32, 64} {
 		cases = append(cases, Protocol2Online(n))
+	}
+	for _, m := range scenario.MultiAgentSizes {
+		cases = append(cases, Protocol2MultiOnline(m))
+	}
+	for _, m := range scenario.MultiAgentSizes {
+		cases = append(cases, Protocol2Shared(m))
 	}
 	return cases
 }

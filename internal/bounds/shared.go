@@ -1,0 +1,578 @@
+package bounds
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// Shared is the per-run knowledge engine: one standing extended graph,
+// grown over the union of every subscribed agent's view, serving all of
+// them. A live run with m knowledge-based agents would otherwise maintain m
+// bounds.Online engines whose graphs overlap almost entirely — every agent's
+// view is a restriction of the same run — so the standing vertex and edge
+// tables are built once here and each agent keeps only what is genuinely
+// its own: a Handle with its view frontier, its private E” horizon edges
+// and a leased query scratch.
+//
+// The standing graph holds exactly the frontier-independent material of
+// Definition 16:
+//
+//   - node vertices in arrival order (the auxiliary psi band first, at fixed
+//     ids 0..n-1, so a handle's frontier is a per-process-band prefix mask),
+//   - successor edges and delivery edge pairs (induced GB(r, sigma)),
+//   - the fixed E”' psi-to-psi channel edges.
+//
+// The two frontier-dependent families never enter the standing tables. E'
+// boundary edges are a pure function of the frontier, so queries relax them
+// virtually (graph.Restriction.BoundaryTo). E” edges — psi_q to the sender
+// of a message whose delivery the agent has not seen — differ per agent: a
+// delivery inside the run but beyond an agent's frontier must still
+// constrain that agent. Each handle therefore maintains its own E” set as
+// a per-psi overlay adjacency, retiring entries exactly as bounds.Online
+// removes its leaving edges.
+//
+// A query relaxes the standing graph restricted to the handle's frontier
+// (graph.LongestRestricted / RelaxRestrictedFrom), which by construction is
+// vertex-for-vertex the extended graph a fresh NewExtendedFromView would
+// build on the agent's view — plus dominated stale material outside the
+// frontier that the mask hides — so Knows/KnowledgeWeight answers coincide
+// exactly with fresh per-view builds at every state
+// (TestSharedMatchesFreshBuild asserts this differentially).
+//
+// Shared is safe for concurrent use by multiple handles: engine growth,
+// speculative chain vertices and the scratch pool are serialized by one
+// mutex (the live environment's lockstep already serializes agents; the
+// lock makes the engine honest under any schedule). A Handle belongs to a
+// single agent goroutine.
+type Shared struct {
+	mu  sync.Mutex
+	net *model.Network
+	n   int
+	g   *graph.Graph
+
+	// members[p-1] is the highest node index of process p absorbed into the
+	// standing graph (-1 if none): the union frontier over all handles.
+	members []int
+	// vertexOf[p-1][k] is the vertex id of node (p, k).
+	vertexOf [][]int32
+	// band/idx are the graph.Restriction coordinates, one entry per vertex:
+	// aux and chain vertices are always visible, node (p, k) carries
+	// (p-1, k).
+	band, idx []int32
+	// boundaryTo maps each band to its psi anchor (aux ids equal band ids).
+	boundaryTo []int32
+	// outCap/inCap are the per-process adjacency capacity hints of node
+	// vertices (successor + delivery edge pairs; E'/E'' never enter the
+	// standing tables).
+	outCap, inCap []int
+	// delivered dedupes delivery absorption across handles. Every handle
+	// re-reports each delivery out of its own log, so the check runs
+	// m times per delivery: it is a per-sender-vertex bitmask over the
+	// sender's out-arc positions (chanBit), one load and a bit test,
+	// rather than a hash lookup. wide falls back to a map for networks
+	// with out-degree beyond one mask word.
+	delivered []uint64
+	chanBit   []uint8
+	wide      map[int64]struct{}
+	// pool holds returned query scratches for future handles.
+	pool []*graph.Scratch
+}
+
+// NewShared builds the engine for one run over net: the auxiliary psi band
+// and its fixed E”' edges. Agents subscribe with NewHandle.
+func NewShared(net *model.Network) *Shared {
+	n := net.N()
+	s := &Shared{
+		net:        net,
+		n:          n,
+		members:    make([]int, n),
+		vertexOf:   make([][]int32, n),
+		band:       make([]int32, 0, 4*n),
+		idx:        make([]int32, 0, 4*n),
+		boundaryTo: make([]int32, n),
+		outCap:     make([]int, n),
+		inCap:      make([]int, n),
+		chanBit:    make([]uint8, len(net.Arcs())),
+	}
+	auxOut := make([]int32, n)
+	auxIn := make([]int32, n)
+	for i := 0; i < n; i++ {
+		s.members[i] = -1
+		s.boundaryTo[i] = int32(i)
+		p := model.ProcID(i + 1)
+		outDeg := len(net.OutArcs(p))
+		inDeg := len(net.InIDs(p))
+		// Node vertices: successor in/out plus one delivery edge pair per
+		// send (out-channel) and per receive (in-channel).
+		s.outCap[i] = 1 + outDeg + inDeg
+		s.inCap[i] = 1 + inDeg + outDeg
+		// Aux band: one E''' edge aux(to) -> aux(from) per channel.
+		auxOut[i] = int32(inDeg)
+		auxIn[i] = int32(outDeg)
+		s.band = append(s.band, int32(i))
+		s.idx = append(s.idx, graph.AlwaysVisible)
+	}
+	for _, p := range net.Procs() {
+		arcs := net.OutArcs(p)
+		if len(arcs) > 64 && s.wide == nil {
+			s.wide = make(map[int64]struct{})
+		}
+		for i := range arcs {
+			s.chanBit[arcs[i].ID] = uint8(i)
+		}
+	}
+	s.g = graph.NewWithDegrees(auxOut, auxIn)
+	for _, a := range net.Arcs() {
+		s.g.AddEdge(int(a.To)-1, int(a.From)-1, -a.Bounds.Upper)
+	}
+	return s
+}
+
+// Net returns the network the engine serves.
+func (s *Shared) Net() *model.Network { return s.net }
+
+// NumVertices returns the current number of standing vertices.
+func (s *Shared) NumVertices() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.N()
+}
+
+// NumEdges returns the current number of standing edges.
+func (s *Shared) NumEdges() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.NumEdges()
+}
+
+// absorbTimeline extends process p's standing vertices (and successor
+// edges) through node index cur. Callers hold s.mu.
+func (s *Shared) absorbTimeline(p model.ProcID, cur int) {
+	for k := s.members[p-1] + 1; k <= cur; k++ {
+		vtx := s.g.AddVertexWithCaps(s.outCap[p-1], s.inCap[p-1])
+		s.vertexOf[p-1] = append(s.vertexOf[p-1], int32(vtx))
+		s.band = append(s.band, int32(p-1))
+		s.idx = append(s.idx, int32(k))
+		s.delivered = append(s.delivered, 0)
+		if k > 0 {
+			s.g.AddEdge(int(s.vertexOf[p-1][k-1]), vtx, 1)
+		}
+	}
+	s.members[p-1] = cur
+}
+
+// absorbDelivery adds the standing lower/upper edge pair of one delivery,
+// once across all handles. Callers hold s.mu and have absorbed both
+// endpoint timelines. delivered is indexed past the aux band, so the
+// sender vertex u is always >= n.
+func (s *Shared) absorbDelivery(u, v int, ch model.ChanID, bd model.Bounds) {
+	if s.wide != nil {
+		key := int64(u)<<20 | int64(ch)
+		if _, ok := s.wide[key]; ok {
+			return
+		}
+		s.wide[key] = struct{}{}
+	} else {
+		bit := uint64(1) << s.chanBit[ch]
+		if s.delivered[u-s.n]&bit != 0 {
+			return
+		}
+		s.delivered[u-s.n] |= bit
+	}
+	s.g.AddEdge(u, v, bd.Lower)
+	s.g.AddEdge(v, u, -bd.Upper)
+}
+
+// leaseScratch pops a pooled scratch (or makes one). Callers hold s.mu.
+func (s *Shared) leaseScratch() *graph.Scratch {
+	if k := len(s.pool); k > 0 {
+		sc := s.pool[k-1]
+		s.pool = s.pool[:k-1]
+		return sc
+	}
+	return new(graph.Scratch)
+}
+
+// Handle is one agent's subscription to a Shared engine: the agent's view
+// frontier (per-process boundary watermarks doubling as the restriction
+// limits), its private E” overlay, its accumulated re-relaxation seeds and
+// its leased scratch. A Handle is owned by one goroutine; concurrent
+// handles of the same engine are safe against each other.
+type Handle struct {
+	shared *Shared
+	view   *run.View
+
+	// members[p-1] is the boundary index covered by the last sync (-1 if
+	// the process had not entered the view); prev is its scratch copy so
+	// the delivery pass can tell new senders from old ones; limit mirrors
+	// members as the graph.Restriction limits.
+	members []int
+	prev    []int
+	limit   []int32
+	// vis is the handle's per-vertex visibility mask over the standing
+	// graph (the graph.Restriction.Visible array): true for the aux band
+	// and for this agent's in-frontier node vertices, false for vertices
+	// other agents forced into the standing graph. Extended on every sync;
+	// chain vertices are appended true per query and truncated on rollback.
+	vis []bool
+	// logMark is the watermark into this agent's view delivery log.
+	logMark int
+	// overlay[q-1] holds the agent's live E'' edges out of psi_q.
+	overlay [][]graph.Edge
+
+	// scratch is leased from the engine pool; between syncs it holds the
+	// fixpoint distances from cacheSrc under this handle's frontier, so the
+	// next query from the same source re-relaxes only the delta. seeds
+	// accumulates the sources of edges that became visible to this handle
+	// since; querySeeds is its per-query working copy.
+	scratch    *graph.Scratch
+	cacheSrc   int
+	cacheValid bool
+	seeds      []int
+	querySeeds []int
+	// admitted accumulates the vertices that entered this handle's frontier
+	// since the last relaxation, so the warm restart drops their
+	// masked-distance sentinels (see graph.RelaxRestrictedFrom).
+	admitted []int
+
+	// Per-query chain-vertex state, rolled back after each query.
+	chainKeys []chainKey
+	chainIDs  []int
+	undo      []chainUndo
+}
+
+// NewHandle subscribes a growing view to the engine. The handle starts
+// empty and absorbs the view's current content on the first query; it must
+// observe every later state through the same View value. It panics if the
+// view lives in a different network than the engine (a structural wiring
+// bug, like adding an edge to a foreign vertex).
+func (s *Shared) NewHandle(view *run.View) *Handle {
+	if view.Net() != s.net {
+		panic("bounds: shared handle for a view of a different network")
+	}
+	h := &Handle{
+		shared:   s,
+		view:     view,
+		members:  make([]int, s.n),
+		prev:     make([]int, s.n),
+		limit:    make([]int32, s.n),
+		overlay:  make([][]graph.Edge, s.n),
+		vis:      make([]bool, s.n, 4*s.n),
+		cacheSrc: -1,
+	}
+	for i := range h.members {
+		h.members[i] = -1
+		h.limit[i] = -1
+		h.vis[i] = true // the aux band is visible to every handle
+	}
+	s.mu.Lock()
+	h.scratch = s.leaseScratch()
+	s.mu.Unlock()
+	return h
+}
+
+// View returns the subscribed view.
+func (h *Handle) View() *run.View { return h.view }
+
+// Release returns the handle's scratch to the engine pool. An agent that
+// has made its last query (Protocol2 after acting) releases so later
+// subscribers reuse the buffers; a released handle that queries again
+// simply leases a fresh scratch and rebuilds its cache.
+func (h *Handle) Release() {
+	s := h.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.scratch != nil {
+		s.pool = append(s.pool, h.scratch)
+		h.scratch = nil
+	}
+	h.cacheValid = false
+}
+
+// vertex returns the standing vertex id of a node known to be absorbed.
+func (h *Handle) vertex(b run.BasicNode) int {
+	return int(h.shared.vertexOf[b.Proc-1][b.Index])
+}
+
+// Sync absorbs the view's growth since the last call into the engine (new
+// timelines and deliveries become standing material, deduplicated across
+// handles) and into the handle (frontier limits, E” overlay, re-relaxation
+// seeds). Queries sync implicitly.
+func (h *Handle) Sync() error {
+	s := h.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.sync()
+}
+
+// sync is Sync with s.mu held.
+func (h *Handle) sync() error {
+	s := h.shared
+	net := h.view.Net()
+	copy(h.prev, h.members)
+	grew := false
+
+	// Pass 1: frontiers. The engine's union frontier grows to cover this
+	// view; the handle records its own boundary watermarks, seeds the
+	// successor edges that just became visible to it and the moved virtual
+	// boundary edge, and adds E'' overlay entries for the new nodes' sends
+	// that its view has not seen delivered. The leaving check consults the
+	// fully-updated view, so a send whose delivery arrives within this same
+	// sync never enters the overlay.
+	for p := model.ProcID(1); int(p) <= s.n; p++ {
+		cur := -1
+		if bnd, ok := h.view.Boundary(p); ok {
+			cur = bnd.Index
+		}
+		old := h.members[p-1]
+		if cur == old {
+			continue
+		}
+		grew = true
+		if cur > s.members[p-1] {
+			s.absorbTimeline(p, cur)
+		}
+		for len(h.vis) < s.g.N() {
+			h.vis = append(h.vis, false)
+		}
+		for k := old + 1; k <= cur; k++ {
+			h.vis[s.vertexOf[p-1][k]] = true
+			h.admitted = append(h.admitted, int(s.vertexOf[p-1][k]))
+			if k > 0 {
+				h.seeds = append(h.seeds, int(s.vertexOf[p-1][k-1]))
+			}
+		}
+		h.seeds = append(h.seeds, int(s.vertexOf[p-1][cur]))
+		first := old + 1
+		if first < 1 {
+			first = 1
+		}
+		for k := first; k <= cur; k++ {
+			from := run.BasicNode{Proc: p, Index: k}
+			for _, a := range net.OutArcs(p) {
+				if _, ok := h.view.DeliveryTo(from, a.To); !ok {
+					h.overlay[a.To-1] = append(h.overlay[a.To-1], graph.Edge{
+						To: int(s.vertexOf[p-1][k]), Weight: -a.Bounds.Upper,
+					})
+					h.seeds = append(h.seeds, int(a.To)-1)
+				}
+			}
+		}
+		h.members[p-1] = cur
+		h.limit[p-1] = int32(cur)
+	}
+	// Cover vertices other handles appended since this handle's last sync:
+	// they stay invisible here, but the mask must span the standing graph.
+	for len(h.vis) < s.g.N() {
+		h.vis = append(h.vis, false)
+	}
+
+	// Pass 2: wire the new deliveries. The standing edge pair is added once
+	// across all handles; a delivery whose sender predates this sync
+	// retires the overlay entry recorded for it earlier. As with
+	// bounds.Online, retirement does not invalidate the cached distances:
+	// per-state fresh distances of this agent are pointwise non-decreasing
+	// (knowledge is persistent), so the cache stays a valid
+	// under-approximating warm start and re-relaxing from the added edges'
+	// sources converges to the exact new fixpoint.
+	delta := h.view.DeliveriesSince(h.logMark)
+	for i := range delta {
+		d := &delta[i]
+		if d.Chan == model.NoChan {
+			// The watermark stays on this entry, so every retry re-reports
+			// the same error — exactly as a fresh build from the same view
+			// does at every state.
+			ch := d.Channel()
+			return fmt.Errorf("%w: %d->%d", model.ErrNoChannel, ch.From, ch.To)
+		}
+		grew = true
+		bd := net.BoundsOf(d.Chan)
+		u := h.vertex(d.From)
+		v := h.vertex(d.To)
+		s.absorbDelivery(u, v, d.Chan, bd)
+		h.seeds = append(h.seeds, u, v)
+		if d.From.Index <= h.prev[d.From.Proc-1] {
+			if !removeOverlayEdge(&h.overlay[d.To.Proc-1], u, -bd.Upper) {
+				return fmt.Errorf("bounds: shared handle lost the E'' edge of %s->%d", d.From, d.To.Proc)
+			}
+		}
+		h.logMark++
+	}
+	if grew && !h.cacheValid {
+		h.seeds = h.seeds[:0]
+		h.admitted = h.admitted[:0]
+	}
+	return nil
+}
+
+// removeOverlayEdge swap-deletes one overlay entry; order is irrelevant
+// (overlays only feed relaxation).
+func removeOverlayEdge(es *[]graph.Edge, to, w int) bool {
+	s := *es
+	for i := range s {
+		if s[i].To == to && s[i].Weight == w {
+			last := len(s) - 1
+			s[i] = s[last]
+			*es = s[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// vertexOfGeneral mirrors Online.vertexOfGeneral on the standing graph,
+// materializing speculative chain vertices (always visible, recorded in
+// h.undo for rollback) for hops beyond the handle's view.
+func (h *Handle) vertexOfGeneral(theta run.GeneralNode) (int, error) {
+	s := h.shared
+	net := h.view.Net()
+	if err := theta.Valid(net); err != nil {
+		return 0, err
+	}
+	if !h.view.Contains(theta.Base) {
+		return 0, fmt.Errorf("%w: %s", ErrNotRecognized, theta)
+	}
+	prefix, hops := h.view.ResolvePrefix(theta)
+	cur := prefix[len(prefix)-1]
+	if hops == theta.Path.Hops() {
+		return h.vertex(cur), nil
+	}
+	if cur.IsInitial() {
+		return 0, fmt.Errorf("%w: %s stalls at %s", ErrInitialChain, theta, cur)
+	}
+	curVertex := h.vertex(cur)
+	for k := hops + 1; k <= theta.Path.Hops(); k++ {
+		from, to := theta.Path[k-1], theta.Path[k]
+		key := chainKey{parent: int32(curVertex), to: to}
+		next := -1
+		for i := range h.chainKeys {
+			if h.chainKeys[i] == key {
+				next = h.chainIDs[i]
+				break
+			}
+		}
+		if next < 0 {
+			bd, berr := net.ChanBounds(from, to)
+			if berr != nil {
+				return 0, berr
+			}
+			next = s.g.AddVertex()
+			s.band = append(s.band, 0)
+			s.idx = append(s.idx, graph.AlwaysVisible)
+			h.vis = append(h.vis, true)
+			h.chainKeys = append(h.chainKeys, key)
+			h.chainIDs = append(h.chainIDs, next)
+			s.g.AddEdge(curVertex, next, bd.Lower)
+			s.g.AddEdge(next, curVertex, -bd.Upper)
+			s.g.AddEdge(int(to)-1, next, 0)
+			h.undo = append(h.undo, chainUndo{
+				parent: curVertex, eta: next, aux: int(to) - 1,
+				lower: bd.Lower, upper: bd.Upper,
+			})
+		}
+		curVertex = next
+	}
+	return curVertex, nil
+}
+
+// rollback removes this query's speculative chain vertices, restoring the
+// standing graph and forgetting their cached distances.
+func (h *Handle) rollback(base int) {
+	s := h.shared
+	for i := len(h.undo) - 1; i >= 0; i-- {
+		u := h.undo[i]
+		s.g.RemoveEdge(u.aux, u.eta, 0)
+		s.g.RemoveEdge(u.eta, u.parent, -u.upper)
+		s.g.RemoveEdge(u.parent, u.eta, u.lower)
+	}
+	for s.g.N() > base {
+		s.g.PopVertex()
+	}
+	s.band = s.band[:base]
+	s.idx = s.idx[:base]
+	h.vis = h.vis[:base]
+	h.undo = h.undo[:0]
+	h.chainKeys = h.chainKeys[:0]
+	h.chainIDs = h.chainIDs[:0]
+	h.scratch.Truncate(base)
+}
+
+// KnowledgeWeight computes kw = max{ x : K_sigma(theta1 --x--> theta2) } at
+// the agent's current state, agreeing exactly with
+// Extended.KnowledgeWeight on a fresh build from the agent's view (and with
+// bounds.Online). known is false — with err == nil — when no bound is known
+// at any x.
+func (h *Handle) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known bool, err error) {
+	s := h.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := h.sync(); err != nil {
+		return 0, false, err
+	}
+	if h.scratch == nil {
+		h.scratch = s.leaseScratch()
+	}
+	base := s.g.N()
+	u, err := h.vertexOfGeneral(theta1)
+	if err != nil {
+		h.rollback(base)
+		return 0, false, err
+	}
+	v, err := h.vertexOfGeneral(theta2)
+	if err != nil {
+		h.rollback(base)
+		return 0, false, err
+	}
+
+	r := graph.Restriction{
+		Visible: h.vis,
+		Band:    s.band, Idx: s.idx, Limit: h.limit,
+		Overlay:    h.overlay,
+		BoundaryTo: s.boundaryTo, BoundaryWeight: 1,
+	}
+	// The chain edges materialized above relax into the standing distances
+	// without disturbing them (their only exit edge is dominated, exactly
+	// as in bounds.Online), so a cached run from the same source only needs
+	// the accumulated delta seeds.
+	var dist []int64
+	if h.cacheValid && u == h.cacheSrc {
+		h.querySeeds = append(h.querySeeds[:0], h.seeds...)
+		for i := range h.undo {
+			h.querySeeds = append(h.querySeeds, h.undo[i].parent, h.undo[i].aux)
+		}
+		dist, err = s.g.RelaxRestrictedFrom(h.scratch, h.querySeeds, h.admitted, &r)
+	} else {
+		dist, err = s.g.LongestRestricted(h.scratch, u, &r)
+		h.cacheSrc = u
+		h.cacheValid = u < base
+	}
+	if err != nil {
+		h.cacheValid = false
+		h.rollback(base)
+		return 0, false, fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
+	}
+	// Either way the scratch now holds this handle's fixpoint over every
+	// visible edge, so the delta restarts empty.
+	h.seeds = h.seeds[:0]
+	h.admitted = h.admitted[:0]
+	w, reachable := int(dist[v]), dist[v] != graph.NegInf
+	h.rollback(base)
+	if !reachable {
+		return 0, false, nil
+	}
+	return w, true, nil
+}
+
+// Knows reports whether K_sigma(theta1 --x--> theta2) holds at the agent's
+// current state, agreeing exactly with Extended.Knows on a fresh build.
+func (h *Handle) Knows(theta1 run.GeneralNode, x int, theta2 run.GeneralNode) (bool, error) {
+	kw, known, err := h.KnowledgeWeight(theta1, theta2)
+	if err != nil {
+		return false, err
+	}
+	return known && kw >= x, nil
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/run"
 	"github.com/clockless/zigzag/internal/sim"
@@ -54,6 +55,13 @@ type Action struct {
 	Label string
 }
 
+// SharedUser is implemented by agents that can subscribe to a per-run
+// shared knowledge engine (bounds.Shared). Run hands Config.Shared to every
+// such agent before its first state.
+type SharedUser interface {
+	UseShared(*bounds.Shared)
+}
+
 // Config parametrizes a live execution.
 type Config struct {
 	Net       *model.Network
@@ -63,6 +71,11 @@ type Config struct {
 	// Agents maps processes to their application logic; processes without
 	// an agent still flood (they are pure FFIP relays).
 	Agents map[model.ProcID]Agent
+	// Shared, when non-nil, is the run-owned knowledge engine handed to
+	// every agent implementing SharedUser: all of them then share one
+	// standing bounds graph instead of maintaining one each. It must have
+	// been built for Net.
+	Shared *bounds.Shared
 }
 
 // Result is the outcome of a live execution.
@@ -114,6 +127,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	net := cfg.Net
 	n := net.N()
+	if cfg.Shared != nil {
+		if cfg.Shared.Net() != net {
+			return nil, errors.New("live: Config.Shared was built for a different network")
+		}
+		for _, agent := range cfg.Agents {
+			if su, ok := agent.(SharedUser); ok {
+				su.UseShared(cfg.Shared)
+			}
+		}
+	}
 
 	// Spawn one goroutine per process, each owning its View and Agent.
 	inboxes := make([]chan batch, n)

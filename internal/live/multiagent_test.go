@@ -1,0 +1,135 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/scenario"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// runMultiAgent executes a multi-agent coordination scenario with one
+// Protocol2 agent per task, all on the given engine selection, and returns
+// the result plus each agent (indexed like sc.Tasks).
+func runMultiAgent(t *testing.T, sc *scenario.Scenario, shared *bounds.Shared, seed int64) (*Result, []*Protocol2) {
+	t.Helper()
+	agents := make([]*Protocol2, len(sc.Tasks))
+	agentMap := make(map[model.ProcID]Agent, len(sc.Tasks))
+	for i := range sc.Tasks {
+		agents[i] = &Protocol2{Task: sc.Tasks[i], ActLabel: fmt.Sprintf("b%d", i+1)}
+		agentMap[sc.Tasks[i].B] = agents[i]
+	}
+	res, err := Run(Config{
+		Net: sc.Net, Horizon: sc.Horizon, Policy: sim.NewRandom(seed),
+		Externals: sc.Externals, Agents: agentMap, Shared: shared,
+	})
+	if err != nil {
+		t.Fatalf("%s shared=%v: %v", sc.Name, shared != nil, err)
+	}
+	for i, a := range agents {
+		if err := a.Err(); err != nil {
+			t.Fatalf("%s shared=%v agent %d: %v", sc.Name, shared != nil, i, err)
+		}
+	}
+	return res, agents
+}
+
+// actionsOf extracts each agent's act (node, time) from the result, keyed
+// by its ActLabel.
+func actionsOf(res *Result) map[string]Action {
+	out := make(map[string]Action, len(res.Actions))
+	for _, a := range res.Actions {
+		out[a.Label] = a
+	}
+	return out
+}
+
+// TestProtocol2SharedMultiAgentMatchesOffline is the multi-agent
+// acceptance test of the shared per-run engine, exercised end to end
+// through the live environment's goroutine-per-process loop (and therefore
+// under -race in CI): m concurrent Protocol2 agents sharing ONE
+// bounds.Shared engine must (a) record the same run as the per-agent
+// bounds.Online configuration under the same policy seed, (b) act at
+// exactly the same nodes and times as the Online agents, and (c) agree
+// with the offline (coord.Task).RunOptimal analysis of the recording for
+// every task.
+func TestProtocol2SharedMultiAgentMatchesOffline(t *testing.T) {
+	for _, m := range []int{2, 4, 8} {
+		sc := scenario.MultiAgent(m)
+		seed := int64(29 + m)
+		shared := bounds.NewShared(sc.Net)
+		sharedRes, _ := runMultiAgent(t, sc, shared, seed)
+		onlineRes, _ := runMultiAgent(t, sc, nil, seed)
+
+		requireIdenticalRuns(t, fmt.Sprintf("%s engines", sc.Name), sharedRes.Run, onlineRes.Run)
+		sharedActs, onlineActs := actionsOf(sharedRes), actionsOf(onlineRes)
+		if len(sharedActs) != len(onlineActs) {
+			t.Fatalf("%s: %d shared actions vs %d online", sc.Name, len(sharedActs), len(onlineActs))
+		}
+		for label, act := range onlineActs {
+			got, ok := sharedActs[label]
+			if !ok || got != act {
+				t.Fatalf("%s: action %q: shared %+v online %+v", sc.Name, label, got, act)
+			}
+		}
+
+		for i := range sc.Tasks {
+			offline, err := sc.Tasks[i].RunOptimal(sharedRes.Run)
+			if err != nil {
+				t.Fatalf("%s task %d offline: %v", sc.Name, i, err)
+			}
+			label := fmt.Sprintf("b%d", i+1)
+			act, acted := sharedActs[label]
+			if offline.Acted != acted {
+				t.Fatalf("%s task %d: offline acted=%v shared acted=%v", sc.Name, i, offline.Acted, acted)
+			}
+			if offline.Acted && (act.Node != offline.ActNode || act.Time != offline.ActTime) {
+				t.Fatalf("%s task %d: shared %s@%d vs offline %s@%d",
+					sc.Name, i, act.Node, act.Time, offline.ActNode, offline.ActTime)
+			}
+		}
+		if shared.NumVertices() < sc.Net.N() {
+			t.Fatalf("%s: shared engine never grew (%d vertices)", sc.Name, shared.NumVertices())
+		}
+	}
+}
+
+// TestProtocol2SharedReusableAcrossViews: a second run must not reuse a
+// Config.Shared engine built for another network, and an agent driven with
+// a different view than its handle was built on reports errDifferentView
+// rather than answering stale.
+func TestProtocol2SharedGuards(t *testing.T) {
+	sc := scenario.MultiAgent(2)
+	other := model.MustComplete(3, 1, 2)
+	_, err := Run(Config{
+		Net: sc.Net, Horizon: sc.Horizon, Policy: sim.Eager{},
+		Externals: sc.Externals, Shared: bounds.NewShared(other),
+	})
+	if err == nil {
+		t.Fatal("foreign shared engine accepted")
+	}
+
+	shared := bounds.NewShared(sc.Net)
+	agent := &Protocol2{Task: sc.Tasks[0], Shared: shared}
+	v1 := run.NewLocalView(sc.Net, sc.Tasks[0].B)
+	if _, err := v1.Absorb(nil, []string{"go"}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the go label into B's own view so the agent subscribes.
+	agent.Task.C = sc.Tasks[0].B
+	agent.OnState(v1, nil)
+	if agent.Err() != nil {
+		t.Fatalf("first view: %v", agent.Err())
+	}
+	v2 := run.NewLocalView(sc.Net, sc.Tasks[0].B)
+	if _, err := v2.Absorb(nil, []string{"go"}); err != nil {
+		t.Fatal(err)
+	}
+	agent.OnState(v2, nil)
+	if agent.Err() == nil {
+		t.Fatal("different view accepted by shared handle")
+	}
+}

@@ -20,9 +20,13 @@ var errDifferentView = errors.New("live: Protocol2 observed a different view tha
 // counterpart of (coord.Task).RunOptimal, and the two must agree exactly.
 //
 // By default the agent maintains the graph incrementally across states with
-// a bounds.Online engine, paying only for the view's growth per state; the
-// engine's answers coincide exactly with a fresh per-state build, so the
-// agreement theorem is engine-independent.
+// a private bounds.Online engine, paying only for the view's growth per
+// state. When a run hosts many knowledge-based agents, setting Shared (or
+// Config.Shared, which Run hands to every subscribing agent) moves the
+// standing graph into one per-run bounds.Shared engine and leaves the agent
+// only a lightweight handle — its frontier, E” overlay and leased scratch.
+// All three engines' answers coincide exactly with a fresh per-state build,
+// so the agreement theorem is engine-independent.
 type Protocol2 struct {
 	Task coord.Task
 	// ActLabel is the action recorded when b is performed ("b" if empty).
@@ -31,10 +35,22 @@ type Protocol2 struct {
 	// the incremental engine — the rebuild-per-state baseline that
 	// benchmarks and differential tests compare against.
 	Rebuild bool
+	// Shared subscribes the agent to a per-run shared knowledge engine
+	// instead of a private bounds.Online; it takes precedence over Rebuild.
+	Shared *bounds.Shared
 
 	acted  bool
 	err    error
 	engine *bounds.Online
+	handle *bounds.Handle
+}
+
+// UseShared implements SharedUser: Run hands the Config-owned engine to the
+// agent before the first state. An engine set directly on the struct wins.
+func (p *Protocol2) UseShared(s *bounds.Shared) {
+	if p.Shared == nil {
+		p.Shared = s
+	}
 }
 
 // Err reports the first internal error the agent encountered (knowledge
@@ -64,14 +80,23 @@ func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 	}
 	var knows bool
 	var err error
-	if p.Rebuild {
+	switch {
+	case p.Shared != nil:
+		if p.handle == nil {
+			p.handle = p.Shared.NewHandle(v)
+		} else if p.handle.View() != v {
+			p.err = errDifferentView
+			return nil
+		}
+		knows, err = p.handle.Knows(theta1, p.Task.X, theta2)
+	case p.Rebuild:
 		ext, berr := bounds.NewExtendedFromView(v)
 		if berr != nil {
 			p.err = berr
 			return nil
 		}
 		knows, err = ext.Knows(theta1, p.Task.X, theta2)
-	} else {
+	default:
 		if p.engine == nil {
 			p.engine = bounds.NewOnline(v)
 		} else if p.engine.View() != v {
@@ -91,6 +116,11 @@ func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 		return nil
 	}
 	p.acted = true
+	if p.handle != nil {
+		// The agent never queries again: return the leased scratch to the
+		// engine pool for later subscribers.
+		p.handle.Release()
+	}
 	if p.ActLabel == "" {
 		return []string{"b"}
 	}

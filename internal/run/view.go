@@ -42,6 +42,12 @@ type View struct {
 	sent map[sentKey]BasicNode
 	// externals[node] lists external-input labels absorbed at that node.
 	externals map[BasicNode][]string
+	// extEarliest indexes, per (process, label), the earliest non-initial
+	// node that absorbed the label — the FindExternal answer. Protocol
+	// agents call FindExternal at every state until the label appears, so
+	// without the index every state pays a rescan of the whole timeline.
+	// Lazily allocated: views without externals never pay for the map.
+	extEarliest map[extKey]BasicNode
 
 	// log is the append-only record of every distinct delivery, in
 	// first-recorded order, with the dense channel id resolved and the
@@ -61,6 +67,13 @@ type View struct {
 
 // logMarks is a per-source watermark into its delivery and external logs.
 type logMarks struct{ log, ext int }
+
+// extKey identifies an external-input lookup: which process absorbed which
+// label.
+type extKey struct {
+	proc  model.ProcID
+	label string
+}
 
 // ViewOf extracts the view of sigma from a recorded run.
 func ViewOf(r *Run, sigma BasicNode) (*View, error) {
@@ -124,6 +137,19 @@ func (v *View) recordExternal(node BasicNode, label string) {
 	}
 	v.externals[node] = append(v.externals[node], label)
 	v.extLog = append(v.extLog, External{To: node, Label: label})
+	// Merge order is not timeline order, so the index keeps the smallest
+	// index per (process, label). Initial nodes absorb no externals by
+	// construction; the guard keeps the index aligned with FindExternal's
+	// k >= 1 scan even for hand-built views.
+	if node.Index >= 1 {
+		if v.extEarliest == nil {
+			v.extEarliest = make(map[extKey]BasicNode)
+		}
+		key := extKey{proc: node.Proc, label: label}
+		if old, ok := v.extEarliest[key]; !ok || node.Index < old.Index {
+			v.extEarliest[key] = node
+		}
+	}
 }
 
 // Net returns the network the view lives in.
@@ -260,22 +286,14 @@ func (v *View) ExternalsAt(b BasicNode) []string {
 }
 
 // FindExternal locates the earliest node of process p that absorbed an
-// external input with the given label, scanning p's timeline inside the
-// view.
+// external input with the given label. The lookup is O(1) against an index
+// maintained on record, not a rescan of p's timeline: online agents
+// (live.Protocol2) call this at every new state until the label appears,
+// which used to cost a walk over every past node and its label slice per
+// state.
 func (v *View) FindExternal(p model.ProcID, label string) (BasicNode, bool) {
-	bnd, ok := v.Boundary(p)
-	if !ok {
-		return BasicNode{}, false
-	}
-	for k := 1; k <= bnd.Index; k++ {
-		n := BasicNode{Proc: p, Index: k}
-		for _, l := range v.externals[n] {
-			if l == label {
-				return n, true
-			}
-		}
-	}
-	return BasicNode{}, false
+	n, ok := v.extEarliest[extKey{proc: p, label: label}]
+	return n, ok
 }
 
 // Snapshot is a view's content frozen at one instant: the payload of an
@@ -403,6 +421,12 @@ func (v *View) Clone() *View {
 	}
 	for node, labels := range v.externals {
 		c.externals[node] = append([]string(nil), labels...)
+	}
+	if len(v.extEarliest) > 0 {
+		c.extEarliest = make(map[extKey]BasicNode, len(v.extEarliest))
+		for key, node := range v.extEarliest {
+			c.extEarliest[key] = node
+		}
 	}
 	if len(v.merged) > 0 {
 		c.merged = make(map[uint64]logMarks, len(v.merged))

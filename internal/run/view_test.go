@@ -88,6 +88,43 @@ func TestViewExternals(t *testing.T) {
 	}
 }
 
+// TestFindExternalIndexKeepsEarliest pins the indexed FindExternal against
+// its old linear-scan semantics: the answer is the earliest node of the
+// process carrying the label, even when merge order records a later
+// occurrence first, and clones keep an independent index.
+func TestFindExternalIndexKeepsEarliest(t *testing.T) {
+	net := model.MustComplete(2, 1, 2)
+	v := NewLocalView(net, 1)
+	v.members[0] = 3
+	v.recordExternal(BasicNode{Proc: 1, Index: 3}, "go")
+	if n, ok := v.FindExternal(1, "go"); !ok || n.Index != 3 {
+		t.Fatalf("FindExternal = %v, %v", n, ok)
+	}
+	// A merge later surfaces an earlier occurrence of the same label.
+	v.recordExternal(BasicNode{Proc: 1, Index: 2}, "go")
+	if n, ok := v.FindExternal(1, "go"); !ok || n.Index != 2 {
+		t.Fatalf("after earlier record: FindExternal = %v, %v", n, ok)
+	}
+	// Later occurrences never displace the earliest.
+	v.recordExternal(BasicNode{Proc: 1, Index: 3}, "go") // duplicate: ignored
+	v.members[1] = 1
+	v.recordExternal(BasicNode{Proc: 2, Index: 1}, "go") // other process
+	if n, _ := v.FindExternal(1, "go"); n.Index != 2 {
+		t.Fatalf("earliest displaced: %v", n)
+	}
+	if _, ok := v.FindExternal(2, "halt"); ok {
+		t.Fatal("phantom label found")
+	}
+	c := v.Clone()
+	v.recordExternal(BasicNode{Proc: 1, Index: 1}, "go")
+	if n, _ := c.FindExternal(1, "go"); n.Index != 2 {
+		t.Fatalf("clone index aliases the original: %v", n)
+	}
+	if n, _ := v.FindExternal(1, "go"); n.Index != 1 {
+		t.Fatalf("original index stale: %v", n)
+	}
+}
+
 func TestViewAbsorbMatchesOffline(t *testing.T) {
 	// Manually replay the chain run's receipts on local views and compare
 	// with ViewOf at every step.

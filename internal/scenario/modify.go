@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/clockless/zigzag/internal/model"
 )
@@ -38,5 +39,50 @@ func (s *Scenario) WithChannel(fromRole, toRole string, lower, upper int) (*Scen
 	out := *s
 	out.Net = net
 	out.Name = s.Name + "+" + fromRole + ">" + toRole
+	return &out, nil
+}
+
+// ScaleBounds returns a copy of the scenario whose every channel bound is
+// scaled by factor: L' = max(1, round(L*factor)) and U' = max(L',
+// round(U*factor)). The horizon stretches by the same factor (rounded up)
+// so truncation artifacts stay beyond the analysis window, while external
+// input times are left alone — the schedule is part of the scenario's
+// identity. Scaled copies are the bound-scaling axis of parameter sweeps;
+// a factor of 1 returns the scenario unchanged.
+func (s *Scenario) ScaleBounds(factor float64) (*Scenario, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("scenario %s: bound scale %g not positive", s.Name, factor)
+	}
+	if factor == 1 {
+		return s, nil
+	}
+	scale := func(b int) int {
+		v := int(math.Round(float64(b) * factor))
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	nb := model.NewBuilder(s.Net.N())
+	for _, ch := range s.Net.Channels() {
+		bd, err := s.Net.ChanBounds(ch.From, ch.To)
+		if err != nil {
+			return nil, err
+		}
+		l := scale(bd.Lower)
+		u := scale(bd.Upper)
+		if u < l {
+			u = l
+		}
+		nb.Chan(ch.From, ch.To, l, u)
+	}
+	net, err := nb.Build()
+	if err != nil {
+		return nil, err
+	}
+	out := *s
+	out.Net = net
+	out.Horizon = model.Time(math.Ceil(float64(s.Horizon) * factor))
+	out.Name = fmt.Sprintf("%s@s=%g", s.Name, factor)
 	return &out, nil
 }

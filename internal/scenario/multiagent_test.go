@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/workload"
+)
+
+func TestCoordinationTasksShape(t *testing.T) {
+	in := workload.MustGenerate(workload.DefaultConfig(1))
+	tasks := CoordinationTasks(in, 3)
+	if len(tasks) != 3 {
+		t.Fatalf("got %d tasks, want 3", len(tasks))
+	}
+	seenB := map[int]bool{}
+	for i, task := range tasks {
+		if task.C != tasks[0].C || task.A != tasks[0].A || task.GoTime != tasks[0].GoTime {
+			t.Fatalf("task %d does not share the go event: %+v", i, task)
+		}
+		if task.B == task.A || task.B == task.C || seenB[int(task.B)] {
+			t.Fatalf("task %d reuses a process: %+v", i, task)
+		}
+		seenB[int(task.B)] = true
+		if !in.Net.HasChan(task.C, task.A) {
+			t.Fatalf("no channel C->A for %+v", task)
+		}
+		wantKind := coord.Late
+		if i%2 == 1 {
+			wantKind = coord.Early
+		}
+		if task.Kind != wantKind {
+			t.Fatalf("task %d kind = %v, want %v", i, task.Kind, wantKind)
+		}
+	}
+	// Asking for more agents than the network can host truncates.
+	if got := CoordinationTasks(in, 100); len(got) != in.Net.N()-2 {
+		t.Fatalf("oversubscribed: got %d tasks, want %d", len(got), in.Net.N()-2)
+	}
+}
+
+func TestMultiAgentFamilyInRegistry(t *testing.T) {
+	fam := MultiAgentFamily()
+	if len(fam) != len(MultiAgentSizes) {
+		t.Fatalf("family size %d", len(fam))
+	}
+	for i, sc := range fam {
+		if len(sc.Tasks) != MultiAgentSizes[i] {
+			t.Fatalf("%s has %d tasks", sc.Name, len(sc.Tasks))
+		}
+		if sc.Task != &sc.Tasks[0] {
+			t.Fatalf("%s: Task does not alias Tasks[0]", sc.Name)
+		}
+		if sc.Net.N() != MultiAgentSizes[i]+2 {
+			t.Fatalf("%s: n = %d", sc.Name, sc.Net.N())
+		}
+	}
+	reg := Registry(0)
+	for _, name := range []string{"coord-m2", "coord-m4"} {
+		if reg[name] == nil {
+			t.Fatalf("registry missing %s", name)
+		}
+	}
+	if reg["coord-m16"] != nil {
+		t.Fatal("benchmark-only coord-m16 leaked into the registry")
+	}
+	// The x override reaches every concurrent task.
+	if reg2 := Registry(9); reg2["coord-m4"].Tasks[2].X != 9 {
+		t.Fatalf("x override not applied: %+v", reg2["coord-m4"].Tasks[2])
+	}
+}

@@ -25,6 +25,11 @@ type Scenario struct {
 	Roles map[string]model.ProcID
 	// Task is the coordination task the scenario poses, if any.
 	Task *coord.Task
+	// Tasks lists the concurrent coordination tasks of a multi-agent
+	// scenario (one Protocol2 agent per task on the same run); when set,
+	// Task points at its first element so single-task harnesses keep
+	// working.
+	Tasks []coord.Task
 	// DefaultPolicy drives the canonical run of the figure; nil means Eager.
 	DefaultPolicy sim.Policy
 }

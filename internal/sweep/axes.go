@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/scenario"
+)
+
+// RandomShape is one point of the random-topology axis: the size/density
+// knobs of a generated scenario (scenario.Random).
+type RandomShape struct {
+	Procs, Extra int
+	Seed         int64
+}
+
+// Axes parametrizes the scenario dimension of a sweep grid beyond the
+// plain registry: required-separation overrides, channel-bound scaling
+// factors and extra random-topology shapes. The zero value expands to the
+// default registry — each axis left empty contributes its identity point.
+// `zigzag-sim -sweep` surfaces the axes as -sweep-x, -sweep-scale and
+// -sweep-rand.
+type Axes struct {
+	// Xs are task-separation overrides passed to scenario.Registry; 0 keeps
+	// every scenario's default. Scenario copies for x != 0 are suffixed
+	// "@x=<x>" so grid rows stay distinguishable.
+	Xs []int
+	// Scales are channel-bound scaling factors applied via
+	// (*scenario.Scenario).ScaleBounds; 1 is the identity. Scaled copies
+	// are suffixed "@s=<factor>".
+	Scales []float64
+	// Random appends generated topologies beyond the registry's canonical
+	// random family.
+	Random []RandomShape
+}
+
+// Scenarios expands the axes into the grid's scenario list, in
+// deterministic order: x-major, then the registry's sorted-name order plus
+// the extra random shapes, then scale.
+func (a Axes) Scenarios() ([]*scenario.Scenario, error) {
+	xs := a.Xs
+	if len(xs) == 0 {
+		xs = []int{0}
+	}
+	scales := a.Scales
+	if len(scales) == 0 {
+		scales = []float64{1}
+	}
+	var out []*scenario.Scenario
+	// Aggregation groups grid rows by scenario name, so a duplicate name —
+	// e.g. a -sweep-rand triple repeating a canonical registry shape —
+	// would silently pool two scenarios into one row. Reject it instead.
+	seen := make(map[string]bool)
+	for _, x := range xs {
+		base := scenario.All(scenario.Registry(x))
+		for _, sh := range a.Random {
+			if sh.Procs < 2 {
+				return nil, fmt.Errorf("sweep: random shape needs >= 2 processes, got %d", sh.Procs)
+			}
+			base = append(base, scenario.Random(sh.Procs, sh.Extra, sh.Seed))
+		}
+		for _, sc := range base {
+			for _, f := range scales {
+				cell, err := sc.ScaleBounds(f)
+				if err != nil {
+					return nil, err
+				}
+				// A single-point x axis keeps the plain names (matching the
+				// historical `-sweep -x n` output); rows only need the suffix
+				// when several x values share one grid.
+				if len(xs) > 1 {
+					cp := *cell
+					cp.Name = fmt.Sprintf("%s@x=%d", cell.Name, x)
+					cell = &cp
+				}
+				if seen[cell.Name] {
+					return nil, fmt.Errorf("sweep: duplicate grid scenario %q (random shapes must differ from the registry and each other)", cell.Name)
+				}
+				seen[cell.Name] = true
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}

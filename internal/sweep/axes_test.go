@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/clockless/zigzag/internal/scenario"
+)
+
+// TestAxesIdentity: the zero Axes expands to exactly the sorted registry.
+func TestAxesIdentity(t *testing.T) {
+	scs, err := Axes{}.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scenario.All(scenario.Registry(0))
+	if len(scs) != len(want) {
+		t.Fatalf("got %d scenarios, want %d", len(scs), len(want))
+	}
+	for i := range scs {
+		if scs[i].Name != want[i].Name {
+			t.Fatalf("scenario %d: %s vs %s", i, scs[i].Name, want[i].Name)
+		}
+	}
+}
+
+// TestAxesExpansion: the grid is the product of the axes, with
+// disambiguating name suffixes and correctly transformed cells.
+func TestAxesExpansion(t *testing.T) {
+	a := Axes{
+		Xs:     []int{0, 3},
+		Scales: []float64{1, 2},
+		Random: []RandomShape{{Procs: 4, Extra: 3, Seed: 9}},
+	}
+	scs, err := a.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := len(scenario.All(scenario.Registry(0))) + 1
+	if len(scs) != base*4 {
+		t.Fatalf("got %d scenarios, want %d", len(scs), base*4)
+	}
+	names := make(map[string]*scenario.Scenario, len(scs))
+	for _, sc := range scs {
+		if names[sc.Name] != nil {
+			t.Fatalf("duplicate grid name %s", sc.Name)
+		}
+		names[sc.Name] = sc
+	}
+	plain := names["figure1@x=0"]
+	scaled := names["figure1@s=2@x=0"]
+	overridden := names["figure1@x=3"]
+	randed := names["random-n4-e3-s9@x=0"]
+	if plain == nil || scaled == nil || overridden == nil || randed == nil {
+		keys := make([]string, 0, len(names))
+		for k := range names {
+			keys = append(keys, k)
+		}
+		t.Fatalf("expected cells missing from %v", keys)
+	}
+	if overridden.Task == nil || overridden.Task.X != 3 {
+		t.Fatalf("x override not applied: %+v", overridden.Task)
+	}
+	if plain.Task.X == 3 {
+		t.Fatal("x override leaked into the x=0 cell")
+	}
+	// Scaling doubles every bound and stretches the horizon.
+	ch := plain.Net.Channels()[0]
+	bd0, _ := plain.Net.ChanBounds(ch.From, ch.To)
+	bd2, _ := scaled.Net.ChanBounds(ch.From, ch.To)
+	if bd2.Lower != 2*bd0.Lower || bd2.Upper != 2*bd0.Upper {
+		t.Fatalf("bounds not scaled: %v vs %v", bd0, bd2)
+	}
+	if scaled.Horizon != 2*plain.Horizon {
+		t.Fatalf("horizon not scaled: %d vs %d", scaled.Horizon, plain.Horizon)
+	}
+}
+
+// TestAxesSingleXKeepsPlainNames pins the historical `-sweep -x n` naming:
+// one x point, even non-zero, adds no suffix.
+func TestAxesSingleXKeepsPlainNames(t *testing.T) {
+	scs, err := Axes{Xs: []int{5}}.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if strings.Contains(sc.Name, "@x=") {
+			t.Fatalf("single-point x axis renamed %s", sc.Name)
+		}
+		if sc.Name == "figure1" && sc.Task.X != 5 {
+			t.Fatalf("x override not applied: %+v", sc.Task)
+		}
+	}
+}
+
+// TestAxesScaledCellsSimulate: a scaled scenario still simulates and its
+// runs respect the scaled bounds (sanity for the sweep's error column).
+func TestAxesScaledCellsSimulate(t *testing.T) {
+	scs, err := Axes{Scales: []float64{1.5}}.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cell *scenario.Scenario
+	for _, sc := range scs {
+		if sc.Name == "figure2b@s=1.5" {
+			cell = sc
+			break
+		}
+	}
+	if cell == nil {
+		t.Fatal("figure2b@s=1.5 missing")
+	}
+	r, err := cell.Simulate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAxesRejectsBadInput: invalid shapes and scales surface as errors.
+func TestAxesRejectsBadInput(t *testing.T) {
+	if _, err := (Axes{Random: []RandomShape{{Procs: 1}}}).Scenarios(); err == nil {
+		t.Error("1-process random shape accepted")
+	}
+	if _, err := (Axes{Scales: []float64{-2}}).Scenarios(); err == nil {
+		t.Error("negative scale accepted")
+	}
+	// Duplicate grid names would silently merge aggregate rows.
+	dup := Axes{Random: []RandomShape{{Procs: 4, Extra: 3, Seed: 9}, {Procs: 4, Extra: 3, Seed: 9}}}
+	if _, err := dup.Scenarios(); err == nil {
+		t.Error("duplicate random shape accepted")
+	}
+	canonical := Axes{Random: []RandomShape{{Procs: 6, Extra: 6, Seed: 1}}} // = registry's random-n6-e6-s1
+	if _, err := canonical.Scenarios(); err == nil {
+		t.Error("registry-colliding random shape accepted")
+	}
+}
