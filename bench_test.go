@@ -438,6 +438,31 @@ func BenchmarkProtocol2MultiOnline(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepSharedNetwork (B1): a block of live-style multi-agent
+// sweep cells — per cell: one per-run bounds.Shared, one handle per agent,
+// full-run absorption and a knowledge query — all served by ONE
+// bounds.NetworkEngine, the way sweep.Grid drives its live dimension. The
+// network-lifetime tier (aux psi band + E”' prototype, presizing hints,
+// scratch pool) is paid once and amortized across every cell; compare
+// against BenchmarkSweepRebuildNetwork.
+func BenchmarkSweepSharedNetwork(b *testing.B) {
+	for _, m := range []int{4, 8} {
+		c := bench.SweepSharedNetwork(m)
+		b.Run(fmt.Sprintf("m=%d", m), c.Run)
+	}
+}
+
+// BenchmarkSweepRebuildNetwork is the rebuild-per-cell baseline recorded
+// alongside BenchmarkSweepSharedNetwork: identical cells, each re-deriving
+// the aux band, hint tables and scratch buffers from scratch — what every
+// sweep cell paid before the engine hierarchy existed.
+func BenchmarkSweepRebuildNetwork(b *testing.B) {
+	for _, m := range []int{4, 8} {
+		c := bench.SweepRebuildNetwork(m)
+		b.Run(fmt.Sprintf("m=%d", m), c.Run)
+	}
+}
+
 // BenchmarkFacadeRoundTrip exercises the public API end to end, as the
 // quickstart example does.
 func BenchmarkFacadeRoundTrip(b *testing.B) {

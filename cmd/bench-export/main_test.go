@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMatchFilter(t *testing.T) {
+	cases := []struct {
+		name, filter string
+		want         bool
+	}{
+		{"Protocol2Shared/m=8", "", true},
+		{"Protocol2Shared/m=8", "Protocol2Shared", true},
+		{"Protocol2Shared/m=8", "Protocol2MultiOnline", false},
+		// The |-alternation: any substring may hit.
+		{"Protocol2Shared/m=8", "Protocol2Shared|Protocol2MultiOnline", true},
+		{"Protocol2MultiOnline/m=8", "Protocol2Shared|Protocol2MultiOnline", true},
+		{"ScalingLive/n=16", "Protocol2Shared|Protocol2MultiOnline", false},
+		// Empty alternatives are ignored rather than matching everything.
+		{"ScalingLive/n=16", "|", false},
+		{"ScalingLive/n=16", "Scaling|", true},
+		{"SweepSharedNetwork/m=4", "Sweep", true},
+	}
+	for _, c := range cases {
+		if got := matchFilter(c.name, c.filter); got != c.want {
+			t.Errorf("matchFilter(%q, %q) = %v, want %v", c.name, c.filter, got, c.want)
+		}
+	}
+}
+
+// writeSnapshot writes a snapshot JSON the way main does, into dir.
+func writeSnapshot(t *testing.T, dir string, snap snapshot) string {
+	t.Helper()
+	path := filepath.Join(dir, "old.json")
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareSnapshotsDeltas(t *testing.T) {
+	old := snapshot{
+		Date: "2026-01-01", Benchtime: "1x",
+		Results: []result{
+			{Name: "A/n=8", NsPerOp: 1000, AllocsPerOp: 100},
+			{Name: "B/n=8", NsPerOp: 2000, AllocsPerOp: 50},
+			{Name: "Gone/n=8", NsPerOp: 500, AllocsPerOp: 10},
+		},
+	}
+	fresh := snapshot{
+		Results: []result{
+			{Name: "A/n=8", NsPerOp: 1500, AllocsPerOp: 80}, // +50% ns, -20% allocs
+			{Name: "B/n=8", NsPerOp: 1000, AllocsPerOp: 50}, // -50% ns
+			{Name: "New/n=8", NsPerOp: 42, AllocsPerOp: 1},  // no baseline
+		},
+	}
+	path := writeSnapshot(t, t.TempDir(), old)
+
+	var buf bytes.Buffer
+	regressed, err := compareSnapshots(&buf, path, fresh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("maxRegress=0 must be report-only, got regressed=true")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"comparison against " + path,
+		"+50.0%", // A's ns/op delta
+		"-20.0%", // A's allocs/op delta
+		"-50.0%", // B's ns/op delta
+		"(new benchmark, no baseline)",
+		"(1 baseline cells not measured in this run)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareSnapshotsMaxRegress(t *testing.T) {
+	old := snapshot{Results: []result{
+		{Name: "A/n=8", NsPerOp: 1000},
+		{Name: "B/n=8", NsPerOp: 1000},
+	}}
+	fresh := snapshot{Results: []result{
+		{Name: "A/n=8", NsPerOp: 1049}, // +4.9%: under the gate
+		{Name: "B/n=8", NsPerOp: 900},
+	}}
+	path := writeSnapshot(t, t.TempDir(), old)
+
+	var buf bytes.Buffer
+	if regressed, err := compareSnapshots(&buf, path, fresh, 5); err != nil || regressed {
+		t.Fatalf("under-threshold run: regressed=%v err=%v", regressed, err)
+	}
+	// Push A beyond the gate: the failure path must trip.
+	fresh.Results[0].NsPerOp = 1200 // +20%
+	buf.Reset()
+	regressed, err := compareSnapshots(&buf, path, fresh, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("+20%% ns/op with -max-regress 5 not flagged:\n%s", buf.String())
+	}
+	// Improvements alone never trip the gate, whatever the threshold.
+	fresh.Results[0].NsPerOp = 100
+	buf.Reset()
+	if regressed, err := compareSnapshots(&buf, path, fresh, 0.001); err != nil || regressed {
+		t.Fatalf("improvement flagged as regression: regressed=%v err=%v", regressed, err)
+	}
+}
+
+func TestCompareSnapshotsBadInput(t *testing.T) {
+	if _, err := compareSnapshots(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing.json"), snapshot{}, 0); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compareSnapshots(&bytes.Buffer{}, path, snapshot{}, 0); err == nil {
+		t.Error("corrupt baseline accepted")
+	}
+}

@@ -8,13 +8,22 @@
 // Usage:
 //
 //	zigzag-sim [-scenario name] [-policy eager|lazy|random] [-seed n]
-//	           [-x n] [-timeline n] [-list] [-dump file]
-//	zigzag-sim -sweep [-seeds n] [-workers n] [-x n] [-format table|csv|json]
+//	           [-x n] [-coord-m m] [-timeline n] [-list] [-dump file]
+//	           [-engine offline|rebuild|online|shared]
+//	zigzag-sim -sweep [-seeds n] [-workers n] [-x n] [-coord-m m] [-live]
+//	           [-format table|csv|json]
 //	           [-sweep-x 0,2,4] [-sweep-scale 1,1.5,2] [-sweep-rand 8:12:1,12:20:2]
 //
-// The -sweep-* flags add grid axes beyond the registry: task-separation
-// overrides, channel-bound scaling factors and extra random-topology
-// shapes (procs:extra:seed).
+// -engine picks the Protocol2 knowledge engine for a single-scenario run:
+// the default "offline" keeps the recorded-run analysis, while rebuild,
+// online and shared execute the scenario's tasks live — one agent goroutine
+// per task — on the chosen engine and cross-check every act against the
+// offline optimum. -coord-m raises the registry's multi-agent family
+// ceiling (coord-m8/coord-m16 enter at 8/16). With -sweep, -live adds the
+// registry's multi-agent scenarios as live grid cells driven through ONE
+// shared knowledge engine per network; the other -sweep-* flags add grid
+// axes beyond the registry: task-separation overrides, channel-bound
+// scaling factors and extra random-topology shapes (procs:extra:seed).
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"strings"
 
 	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/live"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/scenario"
 	"github.com/clockless/zigzag/internal/sim"
@@ -39,6 +49,8 @@ func main() {
 		policy   = flag.String("policy", "lazy", "delivery policy: eager, lazy or random")
 		seed     = flag.Int64("seed", 1, "seed for the random policy")
 		x        = flag.Int("x", 0, "override the task's required separation (0 keeps the default)")
+		coordM   = flag.Int("coord-m", scenario.DefaultCoordM, "multi-agent family ceiling: include coord-m scenarios up to this many agents")
+		engine   = flag.String("engine", "offline", "Protocol2 engine for a single-scenario run: offline (recorded-run analysis), rebuild, online or shared (live execution)")
 		timeline = flag.Int("timeline", 32, "timeline window to render")
 		list     = flag.Bool("list", false, "list scenarios and exit")
 		dump     = flag.String("dump", "", "write the recorded run as JSON to this file")
@@ -46,29 +58,38 @@ func main() {
 		seeds    = flag.Int("seeds", 8, "number of seeds per (scenario, policy) cell in a sweep")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 		format   = flag.String("format", "table", "sweep output format: table, csv or json")
+		doLive   = flag.Bool("live", false, "with -sweep: add the multi-agent scenarios as live grid cells (Protocol2 agents on one shared engine per network)")
 		sweepX   = flag.String("sweep-x", "", "comma-separated task-separation overrides as a sweep axis (e.g. 0,2,4; overrides -x for the sweep)")
 		sweepSc  = flag.String("sweep-scale", "", "comma-separated channel-bound scaling factors as a sweep axis (e.g. 1,1.5,2)")
 		sweepRnd = flag.String("sweep-rand", "", "extra random topologies as procs:extra:seed triples, comma-separated (e.g. 8:12:1,12:20:2)")
 	)
 	flag.Parse()
-	all := scenario.Registry(*x)
+	all := scenario.RegistrySized(*x, *coordM)
 	if *list {
 		for _, n := range scenario.Names(all) {
 			fmt.Printf("%-9s %s\n", n, all[n].Description)
 		}
 		return
 	}
+	if *doSweep && *engine != "offline" {
+		fmt.Fprintln(os.Stderr, "-engine applies to single-scenario runs; use -live for engine-backed sweep cells")
+		os.Exit(2)
+	}
+	if !*doSweep && *doLive {
+		fmt.Fprintln(os.Stderr, "-live needs -sweep (single scenarios run live via -engine)")
+		os.Exit(2)
+	}
 	if *doSweep {
 		if !sweep.ValidFormat(*format) {
 			fmt.Fprintf(os.Stderr, "unknown output format %q (want table, csv or json)\n", *format)
 			os.Exit(2)
 		}
-		axes, err := parseAxes(*x, *sweepX, *sweepSc, *sweepRnd)
+		axes, err := parseAxes(*x, *coordM, *sweepX, *sweepSc, *sweepRnd)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if err := runSweep(axes, *seeds, *workers, *format); err != nil {
+		if err := runSweep(axes, *seeds, *workers, *format, *doLive); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -90,6 +111,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
 		os.Exit(2)
+	}
+	if *engine != "offline" {
+		if err := runLiveScenario(sc, pol, *engine, *timeline, *dump); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	r, err := sc.Simulate(pol)
@@ -161,11 +189,102 @@ func main() {
 	}
 }
 
+// runLiveScenario executes a single scenario through the live environment
+// with one Protocol2 agent per coordination task on the chosen engine —
+// rebuild (fresh extended graph per state), online (private incremental
+// engine) or shared (one per-network knowledge engine, per-run standing
+// graph, per-agent frontier handles) — and cross-checks every agent's act
+// against the offline optimum on the recorded run, which dump (when
+// non-empty) archives as JSON exactly like the offline path does.
+func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine string, timeline int, dump string) error {
+	switch engine {
+	case "rebuild", "online", "shared":
+	default:
+		return fmt.Errorf("unknown engine %q (want offline, rebuild, online or shared)", engine)
+	}
+	tasks := sc.TaskList()
+	if len(tasks) == 0 {
+		return fmt.Errorf("scenario %s poses no coordination task; -engine needs one (try coord-m4)", sc.Name)
+	}
+	agents, agentMap := live.NewTaskAgents(tasks)
+	cfg := live.Config{
+		Net: sc.Net, Horizon: sc.Horizon, Policy: pol, Externals: sc.Externals,
+		Agents: agentMap,
+	}
+	switch engine {
+	case "rebuild":
+		for _, a := range agents {
+			a.Rebuild = true
+		}
+	case "online":
+		// Protocol2's default: a private incremental engine per agent.
+	case "shared":
+		cfg.Engine = bounds.NewNetworkEngine(sc.Net)
+	}
+	res, err := live.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if dump != "" {
+		f, err := os.Create(dump)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteRun(f, res.Run); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("run written to %s\n", dump)
+	}
+	fmt.Printf("scenario %s under policy %s — live, engine=%s, %d agent(s)\n%s\n\n",
+		sc.Name, pol.Name(), engine, len(tasks), sc.Description)
+	names := make(map[model.ProcID]string, len(sc.Roles))
+	for role, p := range sc.Roles {
+		names[p] = role
+	}
+	fmt.Println(viz.Timeline(res.Run, names, model.Time(timeline)))
+	acts := make(map[string]live.Action, len(res.Actions))
+	for _, a := range res.Actions {
+		acts[a.Label] = a
+	}
+	disagree := 0
+	for i := range tasks {
+		if err := agents[i].Err(); err != nil {
+			return fmt.Errorf("agent %s: %w", live.TaskLabel(i), err)
+		}
+		offline, err := tasks[i].RunOptimal(res.Run)
+		if err != nil {
+			return fmt.Errorf("task %d offline analysis: %w", i+1, err)
+		}
+		act, acted := acts[live.TaskLabel(i)]
+		agrees := acted == offline.Acted && (!acted || (act.Node == offline.ActNode && act.Time == offline.ActTime))
+		verdict := "agrees with offline ✔"
+		if !agrees {
+			verdict = fmt.Sprintf("DISAGREES with offline (acted=%v t=%d)", offline.Acted, offline.ActTime)
+			disagree++
+		}
+		if acted {
+			fmt.Printf("agent %s (%s, x=%d, B=%d): acted at t=%d — %s\n",
+				live.TaskLabel(i), tasks[i].Kind, tasks[i].X, tasks[i].B, act.Time, verdict)
+		} else {
+			fmt.Printf("agent %s (%s, x=%d, B=%d): never acted — %s\n",
+				live.TaskLabel(i), tasks[i].Kind, tasks[i].X, tasks[i].B, verdict)
+		}
+	}
+	if disagree > 0 {
+		return fmt.Errorf("%d agent(s) disagree with the offline analysis", disagree)
+	}
+	return nil
+}
+
 // parseAxes assembles the sweep's scenario axes from the CLI flags: the
 // x list (falling back to the single -x override), the bound-scale list
-// and the extra random shapes.
-func parseAxes(x int, xsFlag, scalesFlag, randFlag string) (sweep.Axes, error) {
-	axes := sweep.Axes{}
+// and the extra random shapes, plus the multi-agent family ceiling.
+func parseAxes(x, coordM int, xsFlag, scalesFlag, randFlag string) (sweep.Axes, error) {
+	axes := sweep.Axes{MaxCoordM: coordM}
 	if xsFlag == "" {
 		axes.Xs = []int{x}
 	} else {
@@ -204,11 +323,13 @@ func parseAxes(x int, xsFlag, scalesFlag, randFlag string) (sweep.Axes, error) {
 	return axes, nil
 }
 
-// runSweep expands the axes into the scenario × policy × seed grid and
-// prints the aggregates in deterministic order, in the requested format.
-// The banner is only printed for the human-readable table so that csv/json
-// output can be piped straight into figure scripts.
-func runSweep(axes sweep.Axes, seeds, workers int, format string) error {
+// runSweep expands the axes into the scenario × policy × seed grid —
+// optionally adding the multi-agent scenarios as live cells driven through
+// one knowledge engine per network — and prints the aggregates in
+// deterministic order, in the requested format. The banner is only printed
+// for the human-readable table so that csv/json output can be piped
+// straight into figure scripts.
+func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool) error {
 	if seeds < 1 {
 		return fmt.Errorf("sweep needs at least one seed, got %d", seeds)
 	}
@@ -222,6 +343,19 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string) error {
 		Seeds:     make([]int64, seeds),
 		Workers:   workers,
 	}
+	if doLive {
+		// The multi-agent scenarios (the only ones carrying concurrent
+		// Tasks) form the live dimension: every policy and seed of one
+		// topology shares a single bounds.NetworkEngine inside Grid.Run.
+		for _, sc := range scs {
+			if len(sc.Tasks) > 0 {
+				grid.Live = append(grid.Live, sc)
+			}
+		}
+		if len(grid.Live) == 0 {
+			return fmt.Errorf("sweep: -live found no multi-agent scenarios in the grid")
+		}
+	}
 	for i := range grid.Seeds {
 		grid.Seeds[i] = int64(i + 1)
 	}
@@ -230,8 +364,8 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string) error {
 		return err
 	}
 	if format == "" || format == "table" {
-		fmt.Printf("sweep: %d scenarios x %d policies x %d seeds = %d runs\n\n",
-			len(grid.Scenarios), len(grid.Policies), len(grid.Seeds), grid.Size())
+		fmt.Printf("sweep: (%d sim + %d live scenarios) x %d policies x %d seeds = %d runs\n\n",
+			len(grid.Scenarios), len(grid.Live), len(grid.Policies), len(grid.Seeds), grid.Size())
 	}
 	if err := sweep.Write(os.Stdout, format, sweep.Summarize(results)); err != nil {
 		return err

@@ -50,11 +50,14 @@
 //
 // The canonical instances — the paper's figures, the trains, takeoff and
 // circuits domains, and a seeded family of random topologies — live in
-// internal/scenario and are enumerated by its Registry. internal/sweep runs
+// internal/scenario and are enumerated by its Registry (the multi-agent
+// coordination family behind a -coord-m size knob). internal/sweep runs
 // scenario × policy × seed grids of simulations across a GOMAXPROCS worker
 // pool and aggregates run shapes and coordination outcomes deterministically
 // (results are independent of the worker count); `zigzag-sim -sweep` is the
-// CLI front end, with -format table|csv|json for feeding figure scripts.
+// CLI front end, with -format table|csv|json for feeding figure scripts and
+// -live for a second grid dimension of live multi-agent cells, every cell of
+// one topology sharing a single per-network knowledge engine.
 //
 // The hot paths are dense and allocation-light: networks index their
 // channels by integer ChanID with flat arc tables and CSR-style adjacency,
@@ -66,7 +69,12 @@
 // (bounds.Online) that extends a standing extended bounds graph with each
 // state's delta — read off the view's append-only delivery log — and
 // re-relaxes longest paths from only the new edges, answering exactly as a
-// fresh per-state build would at a small fraction of the cost.
+// fresh per-state build would at a small fraction of the cost. Knowledge
+// state is stratified by lifetime into a three-tier hierarchy:
+// bounds.NetworkEngine owns the network-derived structure (aux band
+// prototype, presizing hints, scratch pool) shared by every run of a
+// topology, bounds.Shared is the per-run standing graph stamped out of it,
+// and bounds.Handle carries one agent's frontier over that graph.
 //
 // The implementation details live in internal packages; this package
 // re-exports the stable API. See DESIGN.md for the system inventory and

@@ -76,26 +76,35 @@ func protocol2Task(in *workload.Instance) coord.Task {
 	return task
 }
 
-// stateBatch is one precomputed receive batch of a benchmarked process.
-type stateBatch struct {
-	proc      model.ProcID
-	receipts  []run.Receipt
-	externals []string
+// StateBatch is one recorded receive batch of an observed process: the
+// receipts and external labels whose absorption creates one new state of
+// its view. Payload snapshots are immutable and shared with the
+// capture-time evolution, so recorded batches can be re-absorbed into
+// fresh views any number of times — the replay fixture behind the
+// Protocol2 benchmark bodies and the engine-tier differential tests
+// (internal/bounds's external test package imports it rather than keeping
+// its own copy of the replay loop).
+type StateBatch struct {
+	Proc      model.ProcID
+	Receipts  []run.Receipt
+	Externals []string
 }
 
-// replayMulti reconstructs the receive batches of every observed process
+// ReplayBatches reconstructs the receive batches of every observed process
 // from a recorded run, in global (time, process) order, with payload
 // snapshots taken from per-process views evolved in lockstep — the exact
 // payload structure (shared source identities, prefix-extending logs) the
 // live engine produces, so view merges hit the same watermark fast path.
-func replayMulti(r *run.Run, observed map[model.ProcID]bool) []stateBatch {
+// It also returns the observed processes' fully-evolved views, for
+// harnesses that subscribe fresh engines to a finished run.
+func ReplayBatches(r *run.Run, observed map[model.ProcID]bool) ([]StateBatch, map[model.ProcID]*run.View) {
 	net := r.Net()
 	views := make([]*run.View, net.N())
 	for _, p := range net.Procs() {
 		views[p-1] = run.NewLocalView(net, p)
 	}
 	snaps := make(map[run.BasicNode]*run.Snapshot)
-	var out []stateBatch
+	var out []StateBatch
 	for t := model.Time(1); t <= r.Horizon(); t++ {
 		for _, p := range net.Procs() {
 			node := r.NodeAt(p, t)
@@ -115,16 +124,21 @@ func replayMulti(r *run.Run, observed map[model.ProcID]bool) []stateBatch {
 			}
 			snaps[node] = views[p-1].Snapshot()
 			if observed[p] {
-				out = append(out, stateBatch{proc: p, receipts: receipts, externals: externals})
+				out = append(out, StateBatch{Proc: p, Receipts: receipts, Externals: externals})
 			}
 		}
 	}
-	return out
+	final := make(map[model.ProcID]*run.View, len(observed))
+	for p := range observed {
+		final[p] = views[p-1]
+	}
+	return out, final
 }
 
-// replayBatches is replayMulti for a single benchmarked process.
-func replayBatches(r *run.Run, bproc model.ProcID) []stateBatch {
-	return replayMulti(r, map[model.ProcID]bool{bproc: true})
+// replayBatches is ReplayBatches for a single benchmarked process.
+func replayBatches(r *run.Run, bproc model.ProcID) []StateBatch {
+	batches, _ := ReplayBatches(r, map[model.ProcID]bool{bproc: true})
+	return batches
 }
 
 // protocol2 measures the per-state online decision loop of Protocol 2 for
@@ -155,10 +169,10 @@ func protocol2(n int, name string, rebuild bool) Case {
 				agent := &live.Protocol2{Task: task, Rebuild: rebuild}
 				view := run.NewLocalView(in.Net, task.B)
 				for bi := range batches {
-					if _, err := view.Absorb(batches[bi].receipts, batches[bi].externals); err != nil {
+					if _, err := view.Absorb(batches[bi].Receipts, batches[bi].Externals); err != nil {
 						b.Fatal(err)
 					}
-					agent.OnState(view, batches[bi].externals)
+					agent.OnState(view, batches[bi].Externals)
 				}
 				if err := agent.Err(); err != nil {
 					b.Fatal(err)
@@ -196,7 +210,7 @@ func protocol2Multi(m int, name string, shared bool) Case {
 			if err != nil {
 				b.Fatal(err)
 			}
-			batches := replayMulti(r, observed)
+			batches, _ := ReplayBatches(r, observed)
 			if len(batches) == 0 {
 				b.Fatal("no agent ever moves")
 			}
@@ -214,11 +228,11 @@ func protocol2Multi(m int, name string, shared bool) Case {
 					views[tasks[j].B] = run.NewLocalView(sc.Net, tasks[j].B)
 				}
 				for bi := range batches {
-					p := batches[bi].proc
-					if _, err := views[p].Absorb(batches[bi].receipts, batches[bi].externals); err != nil {
+					p := batches[bi].Proc
+					if _, err := views[p].Absorb(batches[bi].Receipts, batches[bi].Externals); err != nil {
 						b.Fatal(err)
 					}
-					agents[p].OnState(views[p], batches[bi].externals)
+					agents[p].OnState(views[p], batches[bi].Externals)
 				}
 				for _, agent := range agents {
 					if err := agent.Err(); err != nil {
@@ -230,6 +244,74 @@ func protocol2Multi(m int, name string, shared bool) Case {
 		},
 	}
 }
+
+// sweepNetwork measures the knowledge-layer cost of a block of live
+// multi-agent sweep cells over ONE topology — the workload the
+// network-lifetime engine tier (bounds.NetworkEngine) amortizes. Each cell
+// stamps out a per-run Shared engine, subscribes one handle per agent to
+// that agent's fully-grown view, absorbs the run and answers a knowledge
+// query, then releases the handle. With shared=true all cells go through
+// one NetworkEngine, as sweep.Grid arranges: the aux psi band and its E”'
+// adjacency are cloned rather than rebuilt, presizing hints are shared, and
+// released scratches are re-leased by the next cell. With shared=false
+// every cell re-derives the network tier — what NewShared cost before the
+// hierarchy existed, and the rebuild-per-cell baseline the acceptance
+// criterion compares against.
+func sweepNetwork(m int, name string, shared bool) Case {
+	const cells = 6
+	return Case{
+		Name: fmt.Sprintf("%s/m=%d", name, m),
+		Run: func(b *testing.B) {
+			sc := scenario.MultiAgent(m)
+			observed := make(map[model.ProcID]bool, len(sc.Tasks))
+			for i := range sc.Tasks {
+				observed[sc.Tasks[i].B] = true
+			}
+			r, err := sim.Simulate(sim.Config{
+				Net: sc.Net, Horizon: sc.Horizon, Policy: sim.NewRandom(11),
+				Externals: sc.Externals,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, views := ReplayBatches(r, observed)
+			var eng *bounds.NetworkEngine
+			if shared {
+				eng = bounds.NewNetworkEngine(sc.Net)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for c := 0; c < cells; c++ {
+					cellEng := eng
+					if !shared {
+						cellEng = bounds.NewNetworkEngine(sc.Net)
+					}
+					s := cellEng.NewRun()
+					for j := range sc.Tasks {
+						v := views[sc.Tasks[j].B]
+						h := s.NewHandle(v)
+						sigma := run.At(v.Origin())
+						if _, _, err := h.KnowledgeWeight(sigma, sigma); err != nil {
+							b.Fatal(err)
+						}
+						h.Release()
+					}
+				}
+			}
+			b.ReportMetric(cells, "cells")
+		},
+	}
+}
+
+// SweepSharedNetwork is the cross-run amortization benchmark: a block of
+// live-style multi-agent sweep cells all served by one per-network
+// knowledge engine.
+func SweepSharedNetwork(m int) Case { return sweepNetwork(m, "SweepSharedNetwork", true) }
+
+// SweepRebuildNetwork is the rebuild-per-cell baseline recorded alongside
+// SweepSharedNetwork: identical cells, each re-deriving the network tier.
+func SweepRebuildNetwork(m int) Case { return sweepNetwork(m, "SweepRebuildNetwork", false) }
 
 // Protocol2Shared is the shared-engine multi-agent decision loop: one
 // bounds.Shared standing graph serves all m agents.
@@ -365,6 +447,12 @@ func ExportCases() []Case {
 	}
 	for _, m := range scenario.MultiAgentSizes {
 		cases = append(cases, Protocol2Shared(m))
+	}
+	for _, m := range []int{4, 8} {
+		cases = append(cases, SweepRebuildNetwork(m))
+	}
+	for _, m := range []int{4, 8} {
+		cases = append(cases, SweepSharedNetwork(m))
 	}
 	return cases
 }

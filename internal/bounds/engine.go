@@ -1,0 +1,158 @@
+package bounds
+
+import (
+	"sync"
+
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/model"
+)
+
+// NetworkEngine is the network-lifetime tier of the knowledge engine
+// hierarchy
+//
+//	NetworkEngine (per model.Network)
+//	  └── Shared   (per run, NetworkEngine.NewRun)
+//	        └── Handle (per agent, Shared.NewHandle)
+//
+// It owns everything that depends only on the network and is therefore
+// shared by every run — every sweep cell, every seed, every policy — of the
+// same topology:
+//
+//   - the auxiliary psi band and its fixed E”' channel edges, kept as an
+//     immutable prototype graph that NewRun stamps out per run via
+//     graph.Clone (O(1) allocations instead of rebuilding the band and
+//     re-adding one edge per channel);
+//   - the per-process adjacency capacity hints (outCap/inCap) that presize
+//     node vertices, and the restriction coordinates of the aux prefix;
+//   - the per-sender channel-bit tables behind delivery deduplication;
+//   - the query-scratch pool, so scratch buffers leased by one run's
+//     handles are reused by the next run's instead of dying with each
+//     Shared.
+//
+// The prototype graph is never queried or mutated after construction; runs
+// only ever append to their clones (and remove edges they added), which the
+// Clone contract makes safe — concurrent runs of one engine never write to
+// shared memory. All other engine state is immutable after construction
+// except the pool, which the engine mutex serializes.
+type NetworkEngine struct {
+	net *model.Network
+	n   int
+	// proto holds the aux psi band (vertices 0..n-1) and the E”' edges
+	// aux(to) -> aux(from) per channel; NewRun clones it.
+	proto *graph.Graph
+	// auxBand/auxIdx are the graph.Restriction coordinates of the aux
+	// prefix, copied into each run's coordinate tables.
+	auxBand, auxIdx []int32
+	// boundaryTo maps each band to its psi anchor (aux ids equal band ids).
+	boundaryTo []int32
+	// outCap/inCap are the per-process adjacency capacity hints of node
+	// vertices (successor + delivery edge pairs; E'/E'' never enter the
+	// standing tables).
+	outCap, inCap []int
+	// chanBit gives each channel its bit position within the sender's
+	// out-arc mask; wide records that some process exceeds one mask word,
+	// so runs fall back to a map for delivery dedup.
+	chanBit []uint8
+	wide    bool
+
+	mu   sync.Mutex
+	pool []*graph.Scratch
+}
+
+// NewNetworkEngine derives the run-independent knowledge structure of one
+// network: the auxiliary psi band with its E”' adjacency, the presizing
+// hints and the dedup tables. Build it once per network and stamp out runs
+// with NewRun.
+func NewNetworkEngine(net *model.Network) *NetworkEngine {
+	n := net.N()
+	e := &NetworkEngine{
+		net:        net,
+		n:          n,
+		auxBand:    make([]int32, n),
+		auxIdx:     make([]int32, n),
+		boundaryTo: make([]int32, n),
+		outCap:     make([]int, n),
+		inCap:      make([]int, n),
+		chanBit:    make([]uint8, len(net.Arcs())),
+	}
+	auxOut := make([]int32, n)
+	auxIn := make([]int32, n)
+	for i := 0; i < n; i++ {
+		e.auxBand[i] = int32(i)
+		e.auxIdx[i] = graph.AlwaysVisible
+		e.boundaryTo[i] = int32(i)
+		p := model.ProcID(i + 1)
+		outDeg := len(net.OutArcs(p))
+		inDeg := len(net.InIDs(p))
+		// Node vertices: successor in/out plus one delivery edge pair per
+		// send (out-channel) and per receive (in-channel).
+		e.outCap[i] = 1 + outDeg + inDeg
+		e.inCap[i] = 1 + inDeg + outDeg
+		// Aux band: one E''' edge aux(to) -> aux(from) per channel.
+		auxOut[i] = int32(inDeg)
+		auxIn[i] = int32(outDeg)
+	}
+	for _, p := range net.Procs() {
+		arcs := net.OutArcs(p)
+		if len(arcs) > 64 {
+			e.wide = true
+		}
+		for i := range arcs {
+			e.chanBit[arcs[i].ID] = uint8(i)
+		}
+	}
+	e.proto = graph.NewWithDegrees(auxOut, auxIn)
+	for _, a := range net.Arcs() {
+		e.proto.AddEdge(int(a.To)-1, int(a.From)-1, -a.Bounds.Upper)
+	}
+	return e
+}
+
+// Net returns the network the engine serves.
+func (e *NetworkEngine) Net() *model.Network { return e.net }
+
+// NewRun stamps out the run-lifetime tier: a Shared engine whose standing
+// graph starts as a clone of the aux prototype, above which the run's node
+// vertices and edges are appended as agents subscribe. Runs of one engine
+// are independent (safe to drive concurrently); each answers byte-identically
+// to fresh NewExtendedFromView builds on its agents' views.
+func (e *NetworkEngine) NewRun() *Shared {
+	s := &Shared{
+		eng:      e,
+		n:        e.n,
+		g:        e.proto.Clone(),
+		members:  make([]int, e.n),
+		vertexOf: make([][]int32, e.n),
+		band:     make([]int32, e.n, 4*e.n),
+		idx:      make([]int32, e.n, 4*e.n),
+	}
+	copy(s.band, e.auxBand)
+	copy(s.idx, e.auxIdx)
+	if e.wide {
+		s.wide = make(map[int64]struct{})
+	}
+	for i := range s.members {
+		s.members[i] = -1
+	}
+	return s
+}
+
+// leaseScratch pops a pooled scratch (or makes one).
+func (e *NetworkEngine) leaseScratch() *graph.Scratch {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if k := len(e.pool); k > 0 {
+		sc := e.pool[k-1]
+		e.pool = e.pool[:k-1]
+		return sc
+	}
+	return new(graph.Scratch)
+}
+
+// releaseScratch returns a scratch to the pool for later handles — of this
+// run or any other run of the network.
+func (e *NetworkEngine) releaseScratch(sc *graph.Scratch) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool = append(e.pool, sc)
+}

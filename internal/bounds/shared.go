@@ -9,14 +9,18 @@ import (
 	"github.com/clockless/zigzag/internal/run"
 )
 
-// Shared is the per-run knowledge engine: one standing extended graph,
-// grown over the union of every subscribed agent's view, serving all of
-// them. A live run with m knowledge-based agents would otherwise maintain m
+// Shared is the run-lifetime tier of the knowledge engine hierarchy
+// (NetworkEngine → Shared → Handle): one standing extended graph, grown
+// over the union of every subscribed agent's view, serving all of them. A
+// live run with m knowledge-based agents would otherwise maintain m
 // bounds.Online engines whose graphs overlap almost entirely — every agent's
 // view is a restriction of the same run — so the standing vertex and edge
 // tables are built once here and each agent keeps only what is genuinely
 // its own: a Handle with its view frontier, its private E” horizon edges
-// and a leased query scratch.
+// and a leased query scratch. Everything that depends only on the network —
+// the aux band prototype, presizing hints, dedup tables and the scratch
+// pool — lives one tier up in the NetworkEngine, so runs of one topology
+// share it instead of re-deriving it (NetworkEngine.NewRun).
 //
 // The standing graph holds exactly the frontier-independent material of
 // Definition 16:
@@ -43,14 +47,17 @@ import (
 // exactly with fresh per-view builds at every state
 // (TestSharedMatchesFreshBuild asserts this differentially).
 //
-// Shared is safe for concurrent use by multiple handles: engine growth,
-// speculative chain vertices and the scratch pool are serialized by one
-// mutex (the live environment's lockstep already serializes agents; the
-// lock makes the engine honest under any schedule). A Handle belongs to a
-// single agent goroutine.
+// Shared is safe for concurrent use by multiple handles: engine growth and
+// speculative chain vertices are serialized by one mutex (the live
+// environment's lockstep already serializes agents; the lock makes the
+// engine honest under any schedule), and the scratch pool is serialized by
+// the NetworkEngine's own mutex. A Handle belongs to a single agent
+// goroutine. Distinct runs stamped from one NetworkEngine never contend:
+// their standing graphs are independent clones of the immutable aux
+// prototype.
 type Shared struct {
 	mu  sync.Mutex
-	net *model.Network
+	eng *NetworkEngine
 	n   int
 	g   *graph.Graph
 
@@ -63,77 +70,27 @@ type Shared struct {
 	// aux and chain vertices are always visible, node (p, k) carries
 	// (p-1, k).
 	band, idx []int32
-	// boundaryTo maps each band to its psi anchor (aux ids equal band ids).
-	boundaryTo []int32
-	// outCap/inCap are the per-process adjacency capacity hints of node
-	// vertices (successor + delivery edge pairs; E'/E'' never enter the
-	// standing tables).
-	outCap, inCap []int
 	// delivered dedupes delivery absorption across handles. Every handle
 	// re-reports each delivery out of its own log, so the check runs
 	// m times per delivery: it is a per-sender-vertex bitmask over the
-	// sender's out-arc positions (chanBit), one load and a bit test,
-	// rather than a hash lookup. wide falls back to a map for networks
-	// with out-degree beyond one mask word.
+	// sender's out-arc positions (the engine's chanBit table), one load and
+	// a bit test, rather than a hash lookup. wide falls back to a map for
+	// networks with out-degree beyond one mask word.
 	delivered []uint64
-	chanBit   []uint8
 	wide      map[int64]struct{}
-	// pool holds returned query scratches for future handles.
-	pool []*graph.Scratch
 }
 
-// NewShared builds the engine for one run over net: the auxiliary psi band
-// and its fixed E”' edges. Agents subscribe with NewHandle.
+// NewShared builds the engine for one run over net. It is the compatibility
+// constructor from before the network tier existed: it derives a private
+// NetworkEngine and stamps one run out of it. Callers running many runs of
+// one network (sweeps, the live environment) should build the engine once
+// with NewNetworkEngine and call NewRun per run instead.
 func NewShared(net *model.Network) *Shared {
-	n := net.N()
-	s := &Shared{
-		net:        net,
-		n:          n,
-		members:    make([]int, n),
-		vertexOf:   make([][]int32, n),
-		band:       make([]int32, 0, 4*n),
-		idx:        make([]int32, 0, 4*n),
-		boundaryTo: make([]int32, n),
-		outCap:     make([]int, n),
-		inCap:      make([]int, n),
-		chanBit:    make([]uint8, len(net.Arcs())),
-	}
-	auxOut := make([]int32, n)
-	auxIn := make([]int32, n)
-	for i := 0; i < n; i++ {
-		s.members[i] = -1
-		s.boundaryTo[i] = int32(i)
-		p := model.ProcID(i + 1)
-		outDeg := len(net.OutArcs(p))
-		inDeg := len(net.InIDs(p))
-		// Node vertices: successor in/out plus one delivery edge pair per
-		// send (out-channel) and per receive (in-channel).
-		s.outCap[i] = 1 + outDeg + inDeg
-		s.inCap[i] = 1 + inDeg + outDeg
-		// Aux band: one E''' edge aux(to) -> aux(from) per channel.
-		auxOut[i] = int32(inDeg)
-		auxIn[i] = int32(outDeg)
-		s.band = append(s.band, int32(i))
-		s.idx = append(s.idx, graph.AlwaysVisible)
-	}
-	for _, p := range net.Procs() {
-		arcs := net.OutArcs(p)
-		if len(arcs) > 64 && s.wide == nil {
-			s.wide = make(map[int64]struct{})
-		}
-		for i := range arcs {
-			s.chanBit[arcs[i].ID] = uint8(i)
-		}
-	}
-	s.g = graph.NewWithDegrees(auxOut, auxIn)
-	for _, a := range net.Arcs() {
-		s.g.AddEdge(int(a.To)-1, int(a.From)-1, -a.Bounds.Upper)
-	}
-	return s
+	return NewNetworkEngine(net).NewRun()
 }
 
 // Net returns the network the engine serves.
-func (s *Shared) Net() *model.Network { return s.net }
+func (s *Shared) Net() *model.Network { return s.eng.net }
 
 // NumVertices returns the current number of standing vertices.
 func (s *Shared) NumVertices() int {
@@ -153,7 +110,7 @@ func (s *Shared) NumEdges() int {
 // edges) through node index cur. Callers hold s.mu.
 func (s *Shared) absorbTimeline(p model.ProcID, cur int) {
 	for k := s.members[p-1] + 1; k <= cur; k++ {
-		vtx := s.g.AddVertexWithCaps(s.outCap[p-1], s.inCap[p-1])
+		vtx := s.g.AddVertexWithCaps(s.eng.outCap[p-1], s.eng.inCap[p-1])
 		s.vertexOf[p-1] = append(s.vertexOf[p-1], int32(vtx))
 		s.band = append(s.band, int32(p-1))
 		s.idx = append(s.idx, int32(k))
@@ -177,7 +134,7 @@ func (s *Shared) absorbDelivery(u, v int, ch model.ChanID, bd model.Bounds) {
 		}
 		s.wide[key] = struct{}{}
 	} else {
-		bit := uint64(1) << s.chanBit[ch]
+		bit := uint64(1) << s.eng.chanBit[ch]
 		if s.delivered[u-s.n]&bit != 0 {
 			return
 		}
@@ -185,16 +142,6 @@ func (s *Shared) absorbDelivery(u, v int, ch model.ChanID, bd model.Bounds) {
 	}
 	s.g.AddEdge(u, v, bd.Lower)
 	s.g.AddEdge(v, u, -bd.Upper)
-}
-
-// leaseScratch pops a pooled scratch (or makes one). Callers hold s.mu.
-func (s *Shared) leaseScratch() *graph.Scratch {
-	if k := len(s.pool); k > 0 {
-		sc := s.pool[k-1]
-		s.pool = s.pool[:k-1]
-		return sc
-	}
-	return new(graph.Scratch)
 }
 
 // Handle is one agent's subscription to a Shared engine: the agent's view
@@ -251,7 +198,7 @@ type Handle struct {
 // view lives in a different network than the engine (a structural wiring
 // bug, like adding an edge to a foreign vertex).
 func (s *Shared) NewHandle(view *run.View) *Handle {
-	if view.Net() != s.net {
+	if view.Net() != s.eng.net {
 		panic("bounds: shared handle for a view of a different network")
 	}
 	h := &Handle{
@@ -269,25 +216,21 @@ func (s *Shared) NewHandle(view *run.View) *Handle {
 		h.limit[i] = -1
 		h.vis[i] = true // the aux band is visible to every handle
 	}
-	s.mu.Lock()
-	h.scratch = s.leaseScratch()
-	s.mu.Unlock()
+	h.scratch = s.eng.leaseScratch()
 	return h
 }
 
 // View returns the subscribed view.
 func (h *Handle) View() *run.View { return h.view }
 
-// Release returns the handle's scratch to the engine pool. An agent that
-// has made its last query (Protocol2 after acting) releases so later
-// subscribers reuse the buffers; a released handle that queries again
-// simply leases a fresh scratch and rebuilds its cache.
+// Release returns the handle's scratch to the network engine's pool. An
+// agent that has made its last query (Protocol2 after acting) releases so
+// later subscribers — of this run or any later run of the network — reuse
+// the buffers; a released handle that queries again simply leases a fresh
+// scratch and rebuilds its cache.
 func (h *Handle) Release() {
-	s := h.shared
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if h.scratch != nil {
-		s.pool = append(s.pool, h.scratch)
+		h.shared.eng.releaseScratch(h.scratch)
 		h.scratch = nil
 	}
 	h.cacheValid = false
@@ -514,7 +457,7 @@ func (h *Handle) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 		return 0, false, err
 	}
 	if h.scratch == nil {
-		h.scratch = s.leaseScratch()
+		h.scratch = s.eng.leaseScratch()
 	}
 	base := s.g.N()
 	u, err := h.vertexOfGeneral(theta1)
@@ -532,7 +475,7 @@ func (h *Handle) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 		Visible: h.vis,
 		Band:    s.band, Idx: s.idx, Limit: h.limit,
 		Overlay:    h.overlay,
-		BoundaryTo: s.boundaryTo, BoundaryWeight: 1,
+		BoundaryTo: s.eng.boundaryTo, BoundaryWeight: 1,
 	}
 	// The chain edges materialized above relax into the standing distances
 	// without disturbing them (their only exit edge is dominated, exactly

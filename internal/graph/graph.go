@@ -70,6 +70,28 @@ func NewWithDegrees(out, in []int32) *Graph {
 	return g
 }
 
+// Clone returns a graph with this graph's vertices and edges whose
+// per-vertex adjacency slices alias the original's backing arrays with zero
+// spare capacity: cloning costs O(1) allocations (the struct and the two
+// header arrays) regardless of edge count, and any append in the clone
+// (AddVertex, AddEdge) copies on growth instead of writing into shared
+// memory. The contract mirrors three-index slicing:
+// a clone may freely add vertices and edges, and remove edges it added
+// itself, but removing an edge that was present at clone time would mutate
+// the shared backing and corrupt the original and every sibling clone.
+// Intended for an immutable prototype — e.g. a per-network auxiliary band —
+// stamped out once per run.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]Edge, len(g.adj)), radj: make([][]Edge, len(g.radj))}
+	for i, es := range g.adj {
+		c.adj[i] = es[:len(es):len(es)]
+	}
+	for i, es := range g.radj {
+		c.radj[i] = es[:len(es):len(es)]
+	}
+	return c
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
 

@@ -76,6 +76,14 @@ type Config struct {
 	// standing bounds graph instead of maintaining one each. It must have
 	// been built for Net.
 	Shared *bounds.Shared
+	// Engine, when non-nil (and Shared is nil), is the network-lifetime
+	// knowledge engine this execution subscribes to: Run stamps a fresh
+	// per-run Shared out of it (bounds.NetworkEngine.NewRun) and hands that
+	// to every SharedUser agent. Harnesses running many executions of one
+	// network — sweeps, benchmarks — build the engine once and put it here,
+	// so the aux band, presizing hints and scratch pool amortize across
+	// runs. It must have been built for Net.
+	Engine *bounds.NetworkEngine
 }
 
 // Result is the outcome of a live execution.
@@ -127,13 +135,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 	net := cfg.Net
 	n := net.N()
-	if cfg.Shared != nil {
-		if cfg.Shared.Net() != net {
+	shared := cfg.Shared
+	if shared == nil && cfg.Engine != nil {
+		if cfg.Engine.Net() != net {
+			return nil, errors.New("live: Config.Engine was built for a different network")
+		}
+		shared = cfg.Engine.NewRun()
+	}
+	if shared != nil {
+		if shared.Net() != net {
 			return nil, errors.New("live: Config.Shared was built for a different network")
 		}
 		for _, agent := range cfg.Agents {
 			if su, ok := agent.(SharedUser); ok {
-				su.UseShared(cfg.Shared)
+				su.UseShared(shared)
 			}
 		}
 	}

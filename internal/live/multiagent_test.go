@@ -16,12 +16,7 @@ import (
 // the result plus each agent (indexed like sc.Tasks).
 func runMultiAgent(t *testing.T, sc *scenario.Scenario, shared *bounds.Shared, seed int64) (*Result, []*Protocol2) {
 	t.Helper()
-	agents := make([]*Protocol2, len(sc.Tasks))
-	agentMap := make(map[model.ProcID]Agent, len(sc.Tasks))
-	for i := range sc.Tasks {
-		agents[i] = &Protocol2{Task: sc.Tasks[i], ActLabel: fmt.Sprintf("b%d", i+1)}
-		agentMap[sc.Tasks[i].B] = agents[i]
-	}
+	agents, agentMap := NewTaskAgents(sc.Tasks)
 	res, err := Run(Config{
 		Net: sc.Net, Horizon: sc.Horizon, Policy: sim.NewRandom(seed),
 		Externals: sc.Externals, Agents: agentMap, Shared: shared,
@@ -81,7 +76,7 @@ func TestProtocol2SharedMultiAgentMatchesOffline(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s task %d offline: %v", sc.Name, i, err)
 			}
-			label := fmt.Sprintf("b%d", i+1)
+			label := TaskLabel(i)
 			act, acted := sharedActs[label]
 			if offline.Acted != acted {
 				t.Fatalf("%s task %d: offline acted=%v shared acted=%v", sc.Name, i, offline.Acted, acted)
@@ -97,10 +92,59 @@ func TestProtocol2SharedMultiAgentMatchesOffline(t *testing.T) {
 	}
 }
 
+// TestNetworkEngineConcurrentLiveRuns drives several live executions of one
+// network CONCURRENTLY off a single bounds.NetworkEngine (the configuration
+// a parallel sweep produces): each run clones the engine's aux prototype
+// and leases scratches from the shared pool, so this test — running under
+// -race in CI — pins the engine tier's concurrency contract, and every
+// agent must still agree with the offline analysis of its own recording.
+func TestNetworkEngineConcurrentLiveRuns(t *testing.T) {
+	sc := scenario.MultiAgent(4)
+	eng := bounds.NewNetworkEngine(sc.Net)
+	const runs = 4
+	type outcome struct {
+		res *Result
+		err error
+	}
+	outcomes := make([]outcome, runs)
+	done := make(chan int, runs)
+	for i := 0; i < runs; i++ {
+		go func(i int) {
+			_, agents := NewTaskAgents(sc.Tasks)
+			res, err := Run(Config{
+				Net: sc.Net, Horizon: sc.Horizon, Policy: sim.NewRandom(int64(40 + i)),
+				Externals: sc.Externals, Agents: agents, Engine: eng,
+			})
+			outcomes[i] = outcome{res, err}
+			done <- i
+		}(i)
+	}
+	for i := 0; i < runs; i++ {
+		<-done
+	}
+	for i, o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("run %d: %v", i, o.err)
+		}
+		acts := actionsOf(o.res)
+		for j := range sc.Tasks {
+			offline, err := sc.Tasks[j].RunOptimal(o.res.Run)
+			if err != nil {
+				t.Fatalf("run %d task %d: %v", i, j, err)
+			}
+			act, acted := acts[TaskLabel(j)]
+			if acted != offline.Acted || (acted && (act.Node != offline.ActNode || act.Time != offline.ActTime)) {
+				t.Fatalf("run %d task %d: live acted=%v@%d, offline acted=%v@%d",
+					i, j, acted, act.Time, offline.Acted, offline.ActTime)
+			}
+		}
+	}
+}
+
 // TestProtocol2SharedReusableAcrossViews: a second run must not reuse a
-// Config.Shared engine built for another network, and an agent driven with
-// a different view than its handle was built on reports errDifferentView
-// rather than answering stale.
+// Config.Shared engine (or Config.Engine) built for another network, and an
+// agent driven with a different view than its handle was built on reports
+// errDifferentView rather than answering stale.
 func TestProtocol2SharedGuards(t *testing.T) {
 	sc := scenario.MultiAgent(2)
 	other := model.MustComplete(3, 1, 2)
@@ -110,6 +154,13 @@ func TestProtocol2SharedGuards(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("foreign shared engine accepted")
+	}
+	_, err = Run(Config{
+		Net: sc.Net, Horizon: sc.Horizon, Policy: sim.Eager{},
+		Externals: sc.Externals, Engine: bounds.NewNetworkEngine(other),
+	})
+	if err == nil {
+		t.Fatal("foreign network engine accepted")
 	}
 
 	shared := bounds.NewShared(sc.Net)

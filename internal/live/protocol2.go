@@ -2,9 +2,11 @@ package live
 
 import (
 	"errors"
+	"fmt"
 
 	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/run"
 )
 
@@ -43,6 +45,26 @@ type Protocol2 struct {
 	err    error
 	engine *bounds.Online
 	handle *bounds.Handle
+}
+
+// TaskLabel is the canonical act label of the i-th task of a multi-agent
+// harness ("b1", "b2", ...). Sweep live cells, the CLI cross-check and the
+// differential tests all record and look actions up by it, so the format
+// lives in exactly one place.
+func TaskLabel(i int) string { return fmt.Sprintf("b%d", i+1) }
+
+// NewTaskAgents builds the canonical multi-agent wiring: one Protocol2
+// agent per task, acting with TaskLabel(i), plus the process-keyed map
+// Config.Agents wants. Tasks must target distinct B processes (as
+// scenario.CoordinationTasks guarantees).
+func NewTaskAgents(tasks []coord.Task) ([]*Protocol2, map[model.ProcID]Agent) {
+	agents := make([]*Protocol2, len(tasks))
+	byProc := make(map[model.ProcID]Agent, len(tasks))
+	for i := range tasks {
+		agents[i] = &Protocol2{Task: tasks[i], ActLabel: TaskLabel(i)}
+		byProc[tasks[i].B] = agents[i]
+	}
+	return agents, byProc
 }
 
 // UseShared implements SharedUser: Run hands the Config-owned engine to the

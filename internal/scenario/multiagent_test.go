@@ -62,10 +62,43 @@ func TestMultiAgentFamilyInRegistry(t *testing.T) {
 		}
 	}
 	if reg["coord-m16"] != nil {
-		t.Fatal("benchmark-only coord-m16 leaked into the registry")
+		t.Fatal("coord-m16 leaked into the default registry (DefaultCoordM)")
 	}
 	// The x override reaches every concurrent task.
 	if reg2 := Registry(9); reg2["coord-m4"].Tasks[2].X != 9 {
 		t.Fatalf("x override not applied: %+v", reg2["coord-m4"].Tasks[2])
+	}
+}
+
+// TestRegistrySizedKnob pins the multi-agent size ceiling: raising it pulls
+// the large-m scenarios into the catalogue (with the x override applied),
+// lowering it below the family floor drops the family, and the default knob
+// equals Registry.
+func TestRegistrySizedKnob(t *testing.T) {
+	big := RegistrySized(0, 16)
+	for _, m := range MultiAgentSizes {
+		name := MultiAgent(m).Name
+		if big[name] == nil {
+			t.Fatalf("RegistrySized(0, 16) missing %s", name)
+		}
+		if got := len(big[name].Tasks); got != m {
+			t.Fatalf("%s has %d tasks, want %d", name, got, m)
+		}
+	}
+	if withX := RegistrySized(7, 8); withX["coord-m8"].Tasks[5].X != 7 {
+		t.Fatalf("x override skipped the knob-admitted sizes: %+v", withX["coord-m8"].Tasks[5])
+	}
+	none := RegistrySized(0, 1)
+	for _, m := range MultiAgentSizes {
+		if none[MultiAgent(m).Name] != nil {
+			t.Fatalf("maxM=1 still admits coord-m%d", m)
+		}
+	}
+	reg := Registry(0)
+	for _, maxM := range []int{DefaultCoordM, 0, -3} {
+		def := RegistrySized(0, maxM)
+		if len(def) != len(reg) {
+			t.Fatalf("RegistrySized(0, %d) has %d scenarios, Registry(0) %d", maxM, len(def), len(reg))
+		}
 	}
 }

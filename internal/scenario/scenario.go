@@ -34,6 +34,20 @@ type Scenario struct {
 	DefaultPolicy sim.Policy
 }
 
+// TaskList returns the scenario's concurrent coordination tasks, falling
+// back to the single Task for single-task scenarios. Empty means the
+// scenario poses no coordination task. Multi-agent harnesses (live sweep
+// cells, `zigzag-sim -engine`) index agents by position in this list.
+func (s *Scenario) TaskList() []coord.Task {
+	if len(s.Tasks) > 0 {
+		return s.Tasks
+	}
+	if s.Task != nil {
+		return []coord.Task{*s.Task}
+	}
+	return nil
+}
+
 // Proc returns the process playing a role; it panics on unknown roles
 // (scenario definitions are static fixtures).
 func (s *Scenario) Proc(role string) model.ProcID {

@@ -31,6 +31,9 @@ type Axes struct {
 	// Random appends generated topologies beyond the registry's canonical
 	// random family.
 	Random []RandomShape
+	// MaxCoordM raises the registry's multi-agent coordination family
+	// ceiling (scenario.RegistrySized); 0 keeps scenario.DefaultCoordM.
+	MaxCoordM int
 }
 
 // Scenarios expands the axes into the grid's scenario list, in
@@ -51,7 +54,8 @@ func (a Axes) Scenarios() ([]*scenario.Scenario, error) {
 	// would silently pool two scenarios into one row. Reject it instead.
 	seen := make(map[string]bool)
 	for _, x := range xs {
-		base := scenario.All(scenario.Registry(x))
+		// MaxCoordM <= 0 means the default ceiling (RegistrySized).
+		base := scenario.All(scenario.RegistrySized(x, a.MaxCoordM))
 		for _, sh := range a.Random {
 			if sh.Procs < 2 {
 				return nil, fmt.Errorf("sweep: random shape needs >= 2 processes, got %d", sh.Procs)

@@ -12,18 +12,20 @@ import (
 // The text table (Table) is for eyes; CSV and JSON are for feeding figure
 // scripts and downstream analysis.
 
-// csvHeader is the column schema of WriteCSV, one row per (scenario, policy)
-// aggregate. Gap columns are empty when no cell of the pair acted.
+// csvHeader is the column schema of WriteCSV, one row per
+// (scenario, policy, mode) aggregate. Gap columns are empty when no cell of
+// the group acted; the agent columns are zero for sim rows.
 var csvHeader = []string{
-	"scenario", "policy", "runs", "errors",
+	"scenario", "mode", "policy", "runs", "errors",
 	"nodes_mean", "nodes_min", "nodes_p50", "nodes_p90", "nodes_max",
 	"deliveries_mean", "deliveries_min", "deliveries_p50", "deliveries_p90", "deliveries_max",
 	"task_runs", "acted",
 	"gap_mean", "gap_min", "gap_p50", "gap_p90", "gap_max", "gap_stddev",
+	"agents", "agents_acted",
 }
 
 // WriteCSV renders aggregates as CSV in the given order, one row per
-// (scenario, policy) pair, with a header row.
+// (scenario, policy, mode) aggregate, with a header row.
 func WriteCSV(w io.Writer, aggs []Aggregate) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -31,20 +33,25 @@ func WriteCSV(w io.Writer, aggs []Aggregate) error {
 	}
 	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 	for _, a := range aggs {
+		mode := a.Mode
+		if mode == "" {
+			mode = ModeSim
+		}
 		row := []string{
-			a.Scenario, a.Policy, strconv.Itoa(a.Runs), strconv.Itoa(a.Errors),
+			a.Scenario, mode, a.Policy, strconv.Itoa(a.Runs), strconv.Itoa(a.Errors),
 			f(a.Nodes.Mean), f(a.Nodes.Min), f(a.Nodes.P50), f(a.Nodes.P90), f(a.Nodes.Max),
 			f(a.Deliveries.Mean), f(a.Deliveries.Min), f(a.Deliveries.P50), f(a.Deliveries.P90), f(a.Deliveries.Max),
 			strconv.Itoa(a.TaskRuns), strconv.Itoa(a.Acted),
 			"", "", "", "", "", "",
+			strconv.Itoa(a.AgentRuns), strconv.Itoa(a.AgentsActed),
 		}
 		if a.Acted > 0 {
-			row[16] = f(a.Gap.Mean)
-			row[17] = f(a.Gap.Min)
-			row[18] = f(a.Gap.P50)
-			row[19] = f(a.Gap.P90)
-			row[20] = f(a.Gap.Max)
-			row[21] = f(a.Gap.Stddev)
+			row[17] = f(a.Gap.Mean)
+			row[18] = f(a.Gap.Min)
+			row[19] = f(a.Gap.P50)
+			row[20] = f(a.Gap.P90)
+			row[21] = f(a.Gap.Max)
+			row[22] = f(a.Gap.Stddev)
 		}
 		if err := cw.Write(row); err != nil {
 			return err

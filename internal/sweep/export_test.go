@@ -35,9 +35,9 @@ func TestWriteFormats(t *testing.T) {
 		t.Fatalf("csv header has %d columns, want %d", got, len(csvHeader))
 	}
 	for i, a := range aggs {
-		if rows[i+1][0] != a.Scenario || rows[i+1][1] != a.Policy {
-			t.Errorf("csv row %d is (%s,%s), want (%s,%s)",
-				i, rows[i+1][0], rows[i+1][1], a.Scenario, a.Policy)
+		if rows[i+1][0] != a.Scenario || rows[i+1][1] != ModeSim || rows[i+1][2] != a.Policy {
+			t.Errorf("csv row %d is (%s,%s,%s), want (%s,%s,%s)",
+				i, rows[i+1][0], rows[i+1][1], rows[i+1][2], a.Scenario, ModeSim, a.Policy)
 		}
 	}
 

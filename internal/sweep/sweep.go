@@ -14,6 +14,9 @@ import (
 	"sync"
 	"text/tabwriter"
 
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/live"
+	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/scenario"
 	"github.com/clockless/zigzag/internal/sim"
 	"github.com/clockless/zigzag/internal/stats"
@@ -21,6 +24,14 @@ import (
 
 // ErrEmptyGrid reports a grid with no cells to run.
 var ErrEmptyGrid = errors.New("sweep: empty grid")
+
+// Cell execution modes: offline simulation plus paper analysis, or the
+// goroutine-per-process live environment with one Protocol2 agent per task
+// subscribing to a per-network knowledge engine.
+const (
+	ModeSim  = "sim"
+	ModeLive = "live"
+)
 
 // PolicySpec names a delivery-policy family and constructs a fresh instance
 // per cell. Stateful policies (sim.Random) must not be shared across cells,
@@ -40,17 +51,31 @@ func DefaultPolicies() []PolicySpec {
 	}
 }
 
-// Grid is a scenario × policy × seed sweep specification.
+// Grid is a scenario × policy × seed sweep specification, with an optional
+// live dimension: scenarios listed in Live run through the live environment
+// (one Protocol2 agent per coordination task) instead of the offline
+// simulate-and-analyze path.
 type Grid struct {
 	Scenarios []*scenario.Scenario
-	Policies  []PolicySpec
-	Seeds     []int64
+	// Live lists scenarios additionally executed as live cells: the
+	// goroutine-per-process environment drives one live.Protocol2 agent per
+	// task, all subscribing (through per-run bounds.Shared handles) to ONE
+	// bounds.NetworkEngine per distinct network — built once by Run and
+	// reused across every policy and seed of that network, which is the
+	// cross-run amortization the engine tier exists for. Live cells
+	// enumerate after the sim cells, scenario-major, then policy, then
+	// seed, and report under Mode "live".
+	Live     []*scenario.Scenario
+	Policies []PolicySpec
+	Seeds    []int64
 	// Workers bounds concurrent cells; <= 0 means GOMAXPROCS.
 	Workers int
 }
 
 // Size returns the number of cells in the grid.
-func (g Grid) Size() int { return len(g.Scenarios) * len(g.Policies) * len(g.Seeds) }
+func (g Grid) Size() int {
+	return (len(g.Scenarios) + len(g.Live)) * len(g.Policies) * len(g.Seeds)
+}
 
 // Result records the outcome of one grid cell. A cell that fails to
 // simulate (or whose protocol run fails) carries the error in Err with the
@@ -59,19 +84,27 @@ type Result struct {
 	Scenario string
 	Policy   string
 	Seed     int64
-	Err      error
+	// Mode is ModeSim or ModeLive (empty results from older callers mean
+	// sim).
+	Mode string
+	Err  error
 
 	// Run shape.
 	Nodes      int
 	Deliveries int
 	Pending    int
 
-	// Coordination outcome, when the scenario poses a task.
+	// Coordination outcome, when the scenario poses a task (sim cells).
 	HasTask    bool
 	Acted      bool
 	ActTime    int
 	Gap        int
 	KnownBound int
+
+	// Live-cell outcome: how many Protocol2 agents ran and how many acted
+	// within the horizon; ActTime carries the earliest act when any did.
+	Agents      int
+	AgentsActed int
 }
 
 // Run executes every cell of the grid across a worker pool and returns the
@@ -86,6 +119,21 @@ func (g Grid) Run() ([]Result, error) {
 	for _, sc := range g.Scenarios {
 		if sc == nil {
 			return nil, fmt.Errorf("sweep: nil scenario in grid")
+		}
+	}
+	for _, sc := range g.Live {
+		if sc == nil {
+			return nil, fmt.Errorf("sweep: nil live scenario in grid")
+		}
+	}
+	// ONE knowledge engine per distinct network serves every live cell of
+	// that topology: the aux band, presizing hints and scratch pool are
+	// derived once here and amortized across all policies and seeds
+	// (engines are safe for concurrent runs, so workers share them freely).
+	engines := make(map[*model.Network]*bounds.NetworkEngine)
+	for _, sc := range g.Live {
+		if engines[sc.Net] == nil {
+			engines[sc.Net] = bounds.NewNetworkEngine(sc.Net)
 		}
 	}
 	workers := g.Workers
@@ -104,7 +152,7 @@ func (g Grid) Run() ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = g.cell(i)
+				results[i] = g.cell(i, engines)
 			}
 		}()
 	}
@@ -116,14 +164,20 @@ func (g Grid) Run() ([]Result, error) {
 	return results, nil
 }
 
-// cell runs the i-th cell of the enumeration.
-func (g Grid) cell(i int) Result {
+// cell runs the i-th cell of the enumeration: sim cells first, then live
+// cells, each block scenario-major, then policy, then seed.
+func (g Grid) cell(i int, engines map[*model.Network]*bounds.NetworkEngine) Result {
 	nSeeds, nPols := len(g.Seeds), len(g.Policies)
-	sc := g.Scenarios[i/(nPols*nSeeds)]
+	scIdx := i / (nPols * nSeeds)
 	spec := g.Policies[(i/nSeeds)%nPols]
 	seed := g.Seeds[i%nSeeds]
+	if scIdx >= len(g.Scenarios) {
+		sc := g.Live[scIdx-len(g.Scenarios)]
+		return liveCell(sc, spec, seed, engines[sc.Net])
+	}
+	sc := g.Scenarios[scIdx]
 
-	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed}
+	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: ModeSim}
 	r, err := sc.Simulate(spec.New(seed))
 	if err != nil {
 		res.Err = err
@@ -150,37 +204,78 @@ func (g Grid) cell(i int) Result {
 	return res
 }
 
-// Aggregate summarizes all cells of one (scenario, policy) pair.
+// liveCell executes one live-mode cell: the scenario's tasks become
+// live.Protocol2 agents (one per task, acting with labels b1, b2, ...), the
+// run subscribes to the network's shared engine, and the cell reports the
+// recorded run's shape plus how many agents acted. Scenarios without tasks
+// still execute (pure FFIP relay runs) and report shape only.
+func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, eng *bounds.NetworkEngine) Result {
+	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: ModeLive}
+	tasks := sc.TaskList()
+	agents, agentMap := live.NewTaskAgents(tasks)
+	out, err := live.Run(live.Config{
+		Net: sc.Net, Horizon: sc.Horizon, Policy: spec.New(seed),
+		Externals: sc.Externals, Agents: agentMap, Engine: eng,
+	})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	for i := range agents {
+		if aerr := agents[i].Err(); aerr != nil {
+			res.Err = fmt.Errorf("agent %s: %w", live.TaskLabel(i), aerr)
+			return res
+		}
+	}
+	res.Nodes = out.Run.NumNodes()
+	res.Deliveries = len(out.Run.Deliveries())
+	res.Pending = len(out.Run.PendingMessages())
+	res.Agents = len(tasks)
+	res.AgentsActed = len(out.Actions) // each Protocol2 acts at most once
+	if len(out.Actions) > 0 {
+		// Actions are recorded in (time, process) order.
+		res.ActTime = int(out.Actions[0].Time)
+	}
+	return res
+}
+
+// Aggregate summarizes all cells of one (scenario, policy, mode) triple.
 type Aggregate struct {
 	Scenario string
 	Policy   string
-	Runs     int
-	Errors   int
+	// Mode is ModeSim or ModeLive (empty from pre-mode results means sim).
+	Mode   string
+	Runs   int
+	Errors int
 
 	Nodes      stats.Summary
 	Deliveries stats.Summary
 
-	// Coordination tallies over the cells that pose a task.
+	// Coordination tallies over the sim cells that pose a task.
 	TaskRuns int
 	Acted    int
 	Gap      stats.Summary // over acted cells
+
+	// Live tallies: agents hosted and agents acted, summed over cells.
+	AgentRuns   int
+	AgentsActed int
 }
 
-// Summarize groups results by (scenario, policy) in first-appearance order
-// — for Grid.Run output, the grid's enumeration order — and computes the
-// per-group aggregates.
+// Summarize groups results by (scenario, policy, mode) in first-appearance
+// order — for Grid.Run output, the grid's enumeration order — and computes
+// the per-group aggregates.
 func Summarize(results []Result) []Aggregate {
-	type key struct{ sc, pol string }
+	type key struct{ sc, pol, mode string }
 	idx := make(map[key]int)
 	var aggs []Aggregate
 	samples := make(map[key]*struct{ nodes, deliveries, gaps []float64 })
 	for _, res := range results {
-		k := key{res.Scenario, res.Policy}
+		k := key{res.Scenario, res.Policy, res.Mode}
 		i, ok := idx[k]
 		if !ok {
 			i = len(aggs)
 			idx[k] = i
-			aggs = append(aggs, Aggregate{Scenario: res.Scenario, Policy: res.Policy})
+			aggs = append(aggs, Aggregate{Scenario: res.Scenario, Policy: res.Policy, Mode: res.Mode})
 			samples[k] = &struct{ nodes, deliveries, gaps []float64 }{}
 		}
 		a, s := &aggs[i], samples[k]
@@ -198,9 +293,11 @@ func Summarize(results []Result) []Aggregate {
 				s.gaps = append(s.gaps, float64(res.Gap))
 			}
 		}
+		a.AgentRuns += res.Agents
+		a.AgentsActed += res.AgentsActed
 	}
 	for i := range aggs {
-		s := samples[key{aggs[i].Scenario, aggs[i].Policy}]
+		s := samples[key{aggs[i].Scenario, aggs[i].Policy, aggs[i].Mode}]
 		aggs[i].Nodes = stats.Summarize(s.nodes)
 		aggs[i].Deliveries = stats.Summarize(s.deliveries)
 		aggs[i].Gap = stats.Summarize(s.gaps)
@@ -209,11 +306,13 @@ func Summarize(results []Result) []Aggregate {
 }
 
 // Table renders aggregates as an aligned text table, one row per
-// (scenario, policy) pair, in the given order.
+// (scenario, policy, mode) triple, in the given order. The acted column
+// reads acted/posed: task cells over task runs for sim rows, agents acted
+// over agents hosted for live rows.
 func Table(aggs []Aggregate) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]")
+	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]")
 	for _, a := range aggs {
 		acted := "-"
 		gapMean := "-"
@@ -225,8 +324,15 @@ func Table(aggs []Aggregate) string {
 				gapRange = fmt.Sprintf("[%+.0f,%+.0f]", a.Gap.Min, a.Gap.Max)
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\n",
-			a.Scenario, a.Policy, a.Runs, a.Errors, a.Nodes.Mean, a.Deliveries.Mean,
+		if a.AgentRuns > 0 {
+			acted = fmt.Sprintf("%d/%d", a.AgentsActed, a.AgentRuns)
+		}
+		mode := a.Mode
+		if mode == "" {
+			mode = ModeSim
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\n",
+			a.Scenario, mode, a.Policy, a.Runs, a.Errors, a.Nodes.Mean, a.Deliveries.Mean,
 			acted, gapMean, gapRange)
 	}
 	tw.Flush()

@@ -108,6 +108,109 @@ func TestRunOutcomes(t *testing.T) {
 	}
 }
 
+// TestRunLiveCells pins the live grid dimension: live cells enumerate after
+// the sim cells (scenario-major, policy, seed), report under Mode "live"
+// with per-agent tallies, and — because every Protocol2 agent must agree
+// with the offline analysis — the number of acting agents matches
+// RunOptimal on the same recorded runs. The whole block runs through ONE
+// NetworkEngine per network, across workers, so this also exercises
+// concurrent runs of a shared engine.
+func TestRunLiveCells(t *testing.T) {
+	reg := scenario.Registry(0)
+	g := Grid{
+		Scenarios: []*scenario.Scenario{reg["figure2b"]},
+		Live:      []*scenario.Scenario{reg["coord-m2"], reg["coord-m4"]},
+		Policies:  DefaultPolicies(),
+		Seeds:     []int64{1, 2},
+		Workers:   4,
+	}
+	results, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != g.Size() {
+		t.Fatalf("got %d results, want %d", len(results), g.Size())
+	}
+	nSim := len(g.Scenarios) * len(g.Policies) * len(g.Seeds)
+	i := nSim
+	for _, sc := range g.Live {
+		for _, pol := range g.Policies {
+			for _, seed := range g.Seeds {
+				res := results[i]
+				if res.Scenario != sc.Name || res.Policy != pol.Name || res.Seed != seed || res.Mode != ModeLive {
+					t.Fatalf("result %d is (%s,%s,%d,%s), want live (%s,%s,%d)",
+						i, res.Scenario, res.Policy, res.Seed, res.Mode, sc.Name, pol.Name, seed)
+				}
+				if res.Err != nil {
+					t.Fatalf("live cell %d failed: %v", i, res.Err)
+				}
+				if res.Agents != len(sc.Tasks) {
+					t.Fatalf("cell %d hosts %d agents, want %d", i, res.Agents, len(sc.Tasks))
+				}
+				// Cross-check the acting-agent count against the offline
+				// optimum on a fresh simulation of the same cell.
+				r, err := sc.Simulate(pol.New(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantActed := 0
+				for j := range sc.Tasks {
+					out, err := sc.Tasks[j].RunOptimal(r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if out.Acted {
+						wantActed++
+					}
+				}
+				if res.AgentsActed != wantActed {
+					t.Fatalf("cell %d: %d agents acted, offline says %d", i, res.AgentsActed, wantActed)
+				}
+				i++
+			}
+		}
+	}
+	aggs := Summarize(results)
+	var liveRows int
+	for _, a := range aggs {
+		if a.Mode == ModeLive {
+			liveRows++
+			if a.AgentRuns == 0 {
+				t.Fatalf("live aggregate %s/%s has no agent runs", a.Scenario, a.Policy)
+			}
+		}
+	}
+	if want := len(g.Live) * len(g.Policies); liveRows != want {
+		t.Fatalf("got %d live aggregate rows, want %d", liveRows, want)
+	}
+}
+
+// TestRunLiveReproducibleAcrossWorkerCounts extends the determinism
+// contract to live cells: one shared engine per network must not let worker
+// scheduling leak into results.
+func TestRunLiveReproducibleAcrossWorkerCounts(t *testing.T) {
+	reg := scenario.Registry(0)
+	mk := func(workers int) Grid {
+		return Grid{
+			Live:     []*scenario.Scenario{reg["coord-m2"]},
+			Policies: DefaultPolicies(),
+			Seeds:    []int64{1, 2, 3},
+			Workers:  workers,
+		}
+	}
+	seq, err := mk(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := mk(runtime.GOMAXPROCS(0)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("live cells differ across worker counts:\n  1 worker: %+v\n  parallel: %+v", seq, par)
+	}
+}
+
 func TestRunEmptyGrid(t *testing.T) {
 	if _, err := (Grid{}).Run(); !errors.Is(err, ErrEmptyGrid) {
 		t.Errorf("got %v, want ErrEmptyGrid", err)
