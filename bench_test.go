@@ -450,6 +450,26 @@ func BenchmarkSweepSharedNetwork(b *testing.B) {
 		c := bench.SweepSharedNetwork(m)
 		b.Run(fmt.Sprintf("m=%d", m), c.Run)
 	}
+	// Seed-scaling sub-runs: deterministic cells absorbing from scratch, the
+	// prefix-blind baseline BenchmarkSweepPrefixShared is compared against.
+	for _, seeds := range []int{4, 16, 64} {
+		c := bench.SweepSharedNetworkSeeds(4, seeds)
+		b.Run(fmt.Sprintf("m=%d/seeds=%d", 4, seeds), c.Run)
+	}
+}
+
+// BenchmarkSweepPrefixShared (B1): the standing-prefix tier under seed
+// scaling — seeds deterministic live cells over one network all record the
+// identical run, so the first cell freezes its fully-absorbed standing graph
+// into the content-addressed prefix cache and every later seed stamps the
+// frozen prefix instead of re-absorbing. Acceptance: at 16 seeds this path
+// must allocate at most half of the matching BenchmarkSweepSharedNetwork
+// seeds=16 baseline per op.
+func BenchmarkSweepPrefixShared(b *testing.B) {
+	for _, seeds := range []int{4, 16, 64} {
+		c := bench.SweepPrefixShared(4, seeds)
+		b.Run(fmt.Sprintf("m=%d/seeds=%d", 4, seeds), c.Run)
+	}
 }
 
 // BenchmarkSweepRebuildNetwork is the rebuild-per-cell baseline recorded

@@ -359,7 +359,7 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool) e
 	for i := range grid.Seeds {
 		grid.Seeds[i] = int64(i + 1)
 	}
-	results, err := grid.Run()
+	results, report, err := grid.RunWithEngines()
 	if err != nil {
 		return err
 	}
@@ -369,6 +369,12 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool) e
 	}
 	if err := sweep.Write(os.Stdout, format, sweep.Summarize(results)); err != nil {
 		return err
+	}
+	if (format == "" || format == "table") && report.Networks > 0 {
+		st := report.Stats
+		fmt.Printf("\nengines: %d network(s), %d run(s) stamped; prefix cache %d hit / %d miss / %d evicted; %d clone bytes, %d relaxations\n",
+			report.Networks, st.Runs, st.PrefixHits, st.PrefixMisses, st.PrefixEvictions,
+			st.CloneBytes, st.Relaxations)
 	}
 	failed := 0
 	for _, res := range results {

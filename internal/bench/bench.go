@@ -304,10 +304,81 @@ func sweepNetwork(m int, name string, shared bool) Case {
 	}
 }
 
+// sweepSeeded measures a seed-scaling block of live multi-agent sweep cells
+// under a DETERMINISTIC policy: every seed records the identical run, which
+// is exactly the redundancy the content-addressed standing-prefix tier
+// (bounds.PrefixEngine) collapses. Each cell stamps a per-run Shared,
+// subscribes one handle per agent to that agent's fully-grown view, answers
+// a knowledge query per task, and releases. With prefix=true the cells route
+// through NewRunAt with the pre-simulated run fingerprint, as sweep.Grid
+// arranges for deterministic live cells: the first seed misses and freezes
+// the fully-absorbed standing graph, every later seed stamps the frozen
+// prefix instead of re-absorbing the run. With prefix=false every cell
+// absorbs from scratch through NewRun — the shared-network baseline the
+// acceptance criterion compares against. The engine is rebuilt every
+// iteration so one op prices a complete block: network-tier build plus one
+// miss plus seeds-1 hits (or seeds full absorptions for the baseline).
+func sweepSeeded(m, seeds int, name string, prefix bool) Case {
+	return Case{
+		Name: fmt.Sprintf("%s/m=%d/seeds=%d", name, m, seeds),
+		Run: func(b *testing.B) {
+			sc := scenario.MultiAgent(m)
+			observed := make(map[model.ProcID]bool, len(sc.Tasks))
+			for i := range sc.Tasks {
+				observed[sc.Tasks[i].B] = true
+			}
+			r, err := sc.Simulate(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, views := ReplayBatches(r, observed)
+			fp := r.Fingerprint()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := bounds.NewNetworkEngine(sc.Net)
+				for c := 0; c < seeds; c++ {
+					var s *bounds.Shared
+					if prefix {
+						s, _ = eng.NewRunAt(fp)
+					} else {
+						s = eng.NewRun()
+					}
+					for j := range sc.Tasks {
+						v := views[sc.Tasks[j].B]
+						h := s.NewHandle(v)
+						sigma := run.At(v.Origin())
+						if _, _, err := h.KnowledgeWeight(sigma, sigma); err != nil {
+							b.Fatal(err)
+						}
+						h.Release()
+					}
+					if prefix {
+						s.CommitPrefix()
+					}
+				}
+			}
+			b.ReportMetric(float64(seeds), "cells")
+		},
+	}
+}
+
 // SweepSharedNetwork is the cross-run amortization benchmark: a block of
 // live-style multi-agent sweep cells all served by one per-network
 // knowledge engine.
 func SweepSharedNetwork(m int) Case { return sweepNetwork(m, "SweepSharedNetwork", true) }
+
+// SweepPrefixShared is the seed-scaling benchmark of the standing-prefix
+// tier: seeds deterministic cells over one network, the first freezing the
+// absorbed standing graph and the rest stamping the frozen prefix.
+func SweepPrefixShared(m, seeds int) Case { return sweepSeeded(m, seeds, "SweepPrefixShared", true) }
+
+// SweepSharedNetworkSeeds is the prefix-blind baseline recorded alongside
+// SweepPrefixShared: identical deterministic cells, each absorbing the run
+// from scratch through the shared network engine.
+func SweepSharedNetworkSeeds(m, seeds int) Case {
+	return sweepSeeded(m, seeds, "SweepSharedNetwork", false)
+}
 
 // SweepRebuildNetwork is the rebuild-per-cell baseline recorded alongside
 // SweepSharedNetwork: identical cells, each re-deriving the network tier.
@@ -453,6 +524,10 @@ func ExportCases() []Case {
 	}
 	for _, m := range []int{4, 8} {
 		cases = append(cases, SweepSharedNetwork(m))
+	}
+	for _, seeds := range []int{4, 16, 64} {
+		cases = append(cases, SweepSharedNetworkSeeds(4, seeds))
+		cases = append(cases, SweepPrefixShared(4, seeds))
 	}
 	return cases
 }

@@ -11,8 +11,9 @@ import (
 // hierarchy
 //
 //	NetworkEngine (per model.Network)
-//	  └── Shared   (per run, NetworkEngine.NewRun)
-//	        └── Handle (per agent, Shared.NewHandle)
+//	  └── PrefixEngine (frozen standing prefixes, keyed by run content)
+//	        └── Shared   (per run, NewRun / NewRunAt)
+//	              └── Handle (per agent, Shared.NewHandle)
 //
 // It owns everything that depends only on the network and is therefore
 // shared by every run — every sweep cell, every seed, every policy — of the
@@ -55,6 +56,12 @@ type NetworkEngine struct {
 	chanBit []uint8
 	wide    bool
 
+	// prefixes caches frozen standing prefixes of completed runs, keyed by
+	// run content fingerprint (NewRunAt / Shared.CommitPrefix); stats holds
+	// the engine's cumulative work counters (Stats).
+	prefixes *PrefixEngine
+	stats    engineStats
+
 	mu   sync.Mutex
 	pool []*graph.Scratch
 }
@@ -75,6 +82,7 @@ func NewNetworkEngine(net *model.Network) *NetworkEngine {
 		inCap:      make([]int, n),
 		chanBit:    make([]uint8, len(net.Arcs())),
 	}
+	e.prefixes = newPrefixEngine(&e.stats)
 	auxOut := make([]int32, n)
 	auxIn := make([]int32, n)
 	for i := 0; i < n; i++ {
@@ -111,6 +119,12 @@ func NewNetworkEngine(net *model.Network) *NetworkEngine {
 // Net returns the network the engine serves.
 func (e *NetworkEngine) Net() *model.Network { return e.net }
 
+// Prefixes returns the engine's standing-prefix cache.
+func (e *NetworkEngine) Prefixes() *PrefixEngine { return e.prefixes }
+
+// Stats returns a snapshot of the engine's cumulative work counters.
+func (e *NetworkEngine) Stats() EngineStats { return e.stats.snapshot() }
+
 // NewRun stamps out the run-lifetime tier: a Shared engine whose standing
 // graph starts as a clone of the aux prototype, above which the run's node
 // vertices and edges are appended as agents subscribe. Runs of one engine
@@ -134,6 +148,64 @@ func (e *NetworkEngine) NewRun() *Shared {
 	for i := range s.members {
 		s.members[i] = -1
 	}
+	e.stats.runs.Add(1)
+	e.stats.cloneBytes.Add(e.proto.CloneBytes())
+	return s
+}
+
+// NewRunAt stamps out the run-lifetime tier for a run whose content
+// fingerprint (run.Run.Fingerprint) the caller already knows — a recorded
+// run about to be re-executed, or a deterministic execution whose schedule
+// was pre-simulated. If the engine holds a frozen standing prefix under fp,
+// the returned Shared starts from that snapshot: every timeline, successor
+// edge and delivery edge of the identical earlier run is already standing,
+// so handle syncs reduce to frontier bookkeeping, and hit is true. Otherwise
+// the Shared starts empty exactly as NewRun's would, primed so that
+// CommitPrefix — called once the run has been fully absorbed — freezes it
+// into the cache under fp for the runs that follow.
+//
+// NewRunAt(0) (the "no fingerprint" sentinel) degenerates to NewRun: nothing
+// is looked up and nothing will be committed. Answers from a prefix-stamped
+// Shared are byte-identical to a fresh build's: the cache key pins the exact
+// event log, and any standing material an individual agent has not seen yet
+// stays hidden behind its handle's frontier mask.
+func (e *NetworkEngine) NewRunAt(fp uint64) (s *Shared, hit bool) {
+	if fp == 0 {
+		return e.NewRun(), false
+	}
+	if fz, ok := e.prefixes.lookup(fp); ok {
+		return e.stampPrefix(fz), true
+	}
+	s = e.NewRun()
+	s.pendingKey = fp
+	return s, false
+}
+
+// stampPrefix stamps a Shared out of a frozen standing prefix. The standing
+// graph and the coordinate tables alias the snapshot (copy-on-grow per the
+// graph.Clone contract); frontier and dedup state, which absorption mutates
+// in place, are copied.
+func (e *NetworkEngine) stampPrefix(fz *frozenPrefix) *Shared {
+	s := &Shared{
+		eng:        e,
+		n:          e.n,
+		g:          fz.g.Clone(),
+		members:    append([]int(nil), fz.members...),
+		vertexOf:   make([][]int32, e.n),
+		band:       fz.band,
+		idx:        fz.idx,
+		delivered:  append([]uint64(nil), fz.delivered...),
+		fromPrefix: true,
+	}
+	copy(s.vertexOf, fz.vertexOf)
+	if fz.wide != nil {
+		s.wide = make(map[int64]struct{}, len(fz.wide))
+		for k := range fz.wide {
+			s.wide[k] = struct{}{}
+		}
+	}
+	e.stats.runs.Add(1)
+	e.stats.cloneBytes.Add(fz.g.CloneBytes())
 	return s
 }
 

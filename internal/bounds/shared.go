@@ -10,7 +10,8 @@ import (
 )
 
 // Shared is the run-lifetime tier of the knowledge engine hierarchy
-// (NetworkEngine → Shared → Handle): one standing extended graph, grown
+// (NetworkEngine → PrefixEngine → Shared → Handle): one standing extended
+// graph, grown
 // over the union of every subscribed agent's view, serving all of them. A
 // live run with m knowledge-based agents would otherwise maintain m
 // bounds.Online engines whose graphs overlap almost entirely — every agent's
@@ -78,6 +79,14 @@ type Shared struct {
 	// networks with out-degree beyond one mask word.
 	delivered []uint64
 	wide      map[int64]struct{}
+
+	// pendingKey is the run fingerprint this Shared was stamped towards by
+	// NewRunAt on a cache miss: CommitPrefix freezes the standing state into
+	// the engine's prefix cache under it. Zero means nothing to commit
+	// (plain NewRun, or already committed). fromPrefix records that the
+	// standing state started from a frozen prefix rather than empty.
+	pendingKey uint64
+	fromPrefix bool
 }
 
 // NewShared builds the engine for one run over net. It is the compatibility
@@ -91,6 +100,53 @@ func NewShared(net *model.Network) *Shared {
 
 // Net returns the network the engine serves.
 func (s *Shared) Net() *model.Network { return s.eng.net }
+
+// FromPrefix reports whether this run's standing state was stamped from a
+// frozen prefix (a NewRunAt cache hit) rather than grown from empty.
+func (s *Shared) FromPrefix() bool { return s.fromPrefix }
+
+// CommitPrefix freezes the standing state — graph, frontier, vertex and
+// coordinate tables, dedup state — into the network engine's prefix cache
+// under the fingerprint this Shared was stamped towards by NewRunAt, and
+// reports whether it committed. It is a no-op (false) on Shareds with
+// nothing pending: plain NewRun stamps, NewRunAt hits, and repeat calls.
+//
+// Callers commit once the run's material has been fully absorbed (every
+// agent synced through its final state), so the frozen snapshot stands in
+// for the whole run. Committing earlier is sound but caches less: stamped
+// runs absorb the difference through ordinary handle syncs. The freeze
+// aliases the graph and coordinate backing per the graph.Clone
+// freeze-and-extend contract, so this Shared remains fully usable after
+// committing — later appends land beyond the frozen lengths and speculative
+// chain material is added and removed strictly above them.
+func (s *Shared) CommitPrefix() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pendingKey == 0 {
+		return false
+	}
+	fz := &frozenPrefix{
+		g:         s.g.Clone(),
+		members:   append([]int(nil), s.members...),
+		vertexOf:  make([][]int32, s.n),
+		band:      s.band[:len(s.band):len(s.band)],
+		idx:       s.idx[:len(s.idx):len(s.idx)],
+		delivered: append([]uint64(nil), s.delivered...),
+	}
+	for i, vs := range s.vertexOf {
+		fz.vertexOf[i] = vs[:len(vs):len(vs)]
+	}
+	if s.wide != nil {
+		fz.wide = make(map[int64]struct{}, len(s.wide))
+		for k := range s.wide {
+			fz.wide[k] = struct{}{}
+		}
+	}
+	s.eng.stats.cloneBytes.Add(s.g.CloneBytes())
+	s.eng.prefixes.insert(s.pendingKey, fz)
+	s.pendingKey = 0
+	return true
+}
 
 // NumVertices returns the current number of standing vertices.
 func (s *Shared) NumVertices() int {
@@ -195,11 +251,22 @@ type Handle struct {
 // NewHandle subscribes a growing view to the engine. The handle starts
 // empty and absorbs the view's current content on the first query; it must
 // observe every later state through the same View value. It panics if the
-// view lives in a different network than the engine (a structural wiring
-// bug, like adding an edge to a foreign vertex).
+// view lives in a structurally different network than the engine (a wiring
+// bug, like adding an edge to a foreign vertex); a distinct but
+// content-equal *model.Network value — sweeps rebuild equal topologies per
+// scenario variant — is accepted, since every table the engine derives
+// (channel ids, bounds, adjacency, dedup bits) is a function of the
+// network's content fingerprint.
 func (s *Shared) NewHandle(view *run.View) *Handle {
-	if view.Net() != s.eng.net {
+	if vn := view.Net(); vn != s.eng.net && vn.Fingerprint() != s.eng.net.Fingerprint() {
 		panic("bounds: shared handle for a view of a different network")
+	}
+	s.mu.Lock()
+	standing := s.g.N()
+	s.mu.Unlock()
+	visCap := 4 * s.n
+	if standing > visCap {
+		visCap = standing
 	}
 	h := &Handle{
 		shared:   s,
@@ -208,7 +275,7 @@ func (s *Shared) NewHandle(view *run.View) *Handle {
 		prev:     make([]int, s.n),
 		limit:    make([]int32, s.n),
 		overlay:  make([][]graph.Edge, s.n),
-		vis:      make([]bool, s.n, 4*s.n),
+		vis:      make([]bool, s.n, visCap),
 		cacheSrc: -1,
 	}
 	for i := range h.members {
@@ -492,6 +559,10 @@ func (h *Handle) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 		dist, err = s.g.LongestRestricted(h.scratch, u, &r)
 		h.cacheSrc = u
 		h.cacheValid = u < base
+	}
+	if h.scratch.Relaxations != 0 {
+		s.eng.stats.relaxations.Add(h.scratch.Relaxations)
+		h.scratch.Relaxations = 0
 	}
 	if err != nil {
 		h.cacheValid = false

@@ -1,0 +1,81 @@
+package graph
+
+import "testing"
+
+// dists computes fresh longest-path distances from src, failing the test on
+// error.
+func dists(t *testing.T, g *Graph, src int) []int64 {
+	t.Helper()
+	d, err := g.Longest(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]int64(nil), d...)
+}
+
+// TestCloneFreezeAndExtendChain exercises the composed Clone contract along
+// the chain prototype -> extended run -> frozen prefix -> stamped runs: a
+// clone that has itself been extended is cloned again, both sides keep
+// growing, the donor removes only post-freeze edges, and no side ever
+// observes another's mutations.
+func TestCloneFreezeAndExtendChain(t *testing.T) {
+	// Prototype: 3 vertices, one edge.
+	proto := New(3)
+	proto.AddEdge(0, 1, 2)
+
+	// Tier 2: a run stamped from the prototype, extended with a vertex and
+	// edges of its own.
+	runA := proto.Clone()
+	v3 := runA.AddVertex()
+	runA.AddEdge(1, 2, 3)
+	runA.AddEdge(2, v3, 1)
+	wantA := dists(t, runA, 0)
+
+	// Tier 3: freeze the extended run and stamp two siblings from it.
+	frozen := runA.Clone()
+	s1 := frozen.Clone()
+	s2 := frozen.Clone()
+
+	// The donor keeps living past the freeze: it appends speculative
+	// material and removes exactly what it added (post-freeze edges only).
+	runA.AddEdge(0, 2, 50)
+	spec := runA.AddVertex()
+	runA.AddEdge(v3, spec, 7)
+	if !runA.RemoveEdge(0, 2, 50) {
+		t.Fatal("donor lost its own speculative edge")
+	}
+	if !runA.RemoveEdge(v3, spec, 7) {
+		t.Fatal("donor lost its own chain edge")
+	}
+	runA.PopVertex()
+
+	// Each sibling extends independently.
+	s1.AddEdge(0, 2, 10)
+	s2.AddEdge(1, v3, 20)
+
+	for i, got := range dists(t, runA, 0) {
+		if got != wantA[i] {
+			t.Fatalf("donor dist[%d] = %d after freeze+rollback, want %d", i, got, wantA[i])
+		}
+	}
+	for i, got := range dists(t, frozen, 0) {
+		if got != wantA[i] {
+			t.Fatalf("frozen dist[%d] = %d, want donor's %d", i, got, wantA[i])
+		}
+	}
+	d1 := dists(t, s1, 0)
+	if d1[2] != 10 || d1[v3] != 11 {
+		t.Fatalf("sibling 1 dists %v, want 0->2 = 10, 0->%d = 11", d1, v3)
+	}
+	d2 := dists(t, s2, 0)
+	if d2[2] != 5 || d2[v3] != 22 {
+		t.Fatalf("sibling 2 dists %v, want 0->2 = 5, 0->%d = 22", d2, v3)
+	}
+	// Sibling extensions must not leak into each other or back up the chain.
+	if d1[v3] == d2[v3] {
+		t.Fatal("sibling extensions aliased")
+	}
+	if n := frozen.NumEdges(); n != 3 {
+		t.Fatalf("frozen prefix has %d edges, want 3", n)
+	}
+}

@@ -75,12 +75,32 @@ func NewWithDegrees(out, in []int32) *Graph {
 // spare capacity: cloning costs O(1) allocations (the struct and the two
 // header arrays) regardless of edge count, and any append in the clone
 // (AddVertex, AddEdge) copies on growth instead of writing into shared
-// memory. The contract mirrors three-index slicing:
-// a clone may freely add vertices and edges, and remove edges it added
-// itself, but removing an edge that was present at clone time would mutate
-// the shared backing and corrupt the original and every sibling clone.
-// Intended for an immutable prototype — e.g. a per-network auxiliary band —
-// stamped out once per run.
+// memory. The contract mirrors three-index slicing: a clone may freely add
+// vertices and edges, and remove edges it added itself, but removing an edge
+// that was present at clone time would mutate the shared backing and corrupt
+// the original and every sibling clone.
+//
+// The contract is freeze-and-extend and composes along chains: a clone that
+// has itself been extended may be cloned again, freezing ITS state as the
+// new baseline, and so on (prototype -> run graph -> frozen prefix ->
+// stamped run ...). Two aliasing rules make every link of such a chain
+// safe, including concurrently:
+//
+//   - A donor that keeps growing after being cloned never invalidates the
+//     clone. In-place appends write only at indices at or beyond the
+//     clone-time lengths — addresses no reader of the frozen prefix ever
+//     touches — and appends beyond capacity relocate the donor's slice
+//     entirely. Each side reads and writes a disjoint region of any shared
+//     backing, so donor and clone need no synchronization between them.
+//   - A donor may remove edges it added after the most recent freeze (its
+//     own speculative material): swap-deletion moves entries only within
+//     the post-freeze tail, indices the frozen prefix capped away. Edges
+//     that predate the freeze are immutable forever.
+//
+// Restriction coordinates kept alongside a graph (band/idx tables, see
+// Restriction) follow the same discipline: they are append-only, so a
+// frozen prefix can alias them with zero spare capacity and both sides stay
+// valid across any number of re-stampings.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{adj: make([][]Edge, len(g.adj)), radj: make([][]Edge, len(g.radj))}
 	for i, es := range g.adj {
@@ -94,6 +114,15 @@ func (g *Graph) Clone() *Graph {
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
+
+// CloneBytes returns the approximate number of bytes one Clone of this graph
+// copies: the two adjacency header arrays (three words per vertex each).
+// Engine tiers use it to meter stamping cost without instrumenting Clone
+// itself.
+func (g *Graph) CloneBytes() int64 {
+	const sliceHeader = 24 // unsafe.Sizeof([]Edge{}) on 64-bit targets
+	return int64(len(g.adj)+len(g.radj)) * sliceHeader
+}
 
 // NumEdges returns the number of edges.
 func (g *Graph) NumEdges() int {
@@ -148,6 +177,12 @@ func (g *Graph) In(u int) []Edge { return g.radj[u] }
 // queries on a (growing) graph stop allocating O(V) per call. A Scratch is
 // owned by one querier at a time — it is not safe for concurrent use.
 type Scratch struct {
+	// Relaxations accumulates the number of successful SPFA relaxations
+	// (distance improvements) across the queries run through this scratch —
+	// a cheap work meter. Owners read and reset it at whatever granularity
+	// they aggregate (bounds harvests it per query into engine counters).
+	Relaxations int64
+
 	// n is the vertex count covered by the most recent completed
 	// computation; RelaxFrom uses it to initialize vertices added since.
 	n int
@@ -302,6 +337,7 @@ func spfa(adj [][]Edge, s *Scratch, count int) error {
 	n := len(adj)
 	dist, inQueue, pathLen, queue := s.dist, s.inQueue, s.pathLen, s.queue
 	head := 0
+	var relaxed int64
 	for count > 0 {
 		u := queue[head]
 		head++
@@ -314,8 +350,10 @@ func spfa(adj [][]Edge, s *Scratch, count int) error {
 		for _, e := range adj[u] {
 			if nd := du + int64(e.Weight); nd > dist[e.To] {
 				dist[e.To] = nd
+				relaxed++
 				pathLen[e.To] = pathLen[u] + 1
 				if int(pathLen[e.To]) >= n {
+					s.Relaxations += relaxed
 					return ErrPositiveCycle
 				}
 				if !inQueue[e.To] {
@@ -330,6 +368,7 @@ func spfa(adj [][]Edge, s *Scratch, count int) error {
 			}
 		}
 	}
+	s.Relaxations += relaxed
 	return nil
 }
 

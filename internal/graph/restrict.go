@@ -170,6 +170,7 @@ func spfaRestricted(adj [][]Edge, s *Scratch, count int, r *Restriction) error {
 	dist, inQueue, pathLen, queue := s.dist, s.inQueue, s.pathLen, s.queue
 	band, idx, limit := r.Band, r.Idx, r.Limit
 	head := 0
+	var relaxed int64
 	for count > 0 {
 		u := queue[head]
 		head++
@@ -182,8 +183,10 @@ func spfaRestricted(adj [][]Edge, s *Scratch, count int, r *Restriction) error {
 		for _, e := range adj[u] {
 			if nd := du + int64(e.Weight); nd > dist[e.To] {
 				dist[e.To] = nd
+				relaxed++
 				pathLen[e.To] = pathLen[u] + 1
 				if int(pathLen[e.To]) >= n {
+					s.Relaxations += relaxed
 					return ErrPositiveCycle
 				}
 				if !inQueue[e.To] {
@@ -201,8 +204,10 @@ func spfaRestricted(adj [][]Edge, s *Scratch, count int, r *Restriction) error {
 			for _, e := range r.Overlay[u] {
 				if nd := du + int64(e.Weight); nd > dist[e.To] {
 					dist[e.To] = nd
+					relaxed++
 					pathLen[e.To] = pathLen[u] + 1
 					if int(pathLen[e.To]) >= n {
+						s.Relaxations += relaxed
 						return ErrPositiveCycle
 					}
 					if !inQueue[e.To] {
@@ -223,8 +228,10 @@ func spfaRestricted(adj [][]Edge, s *Scratch, count int, r *Restriction) error {
 			if to := int(r.BoundaryTo[band[u]]); to >= 0 {
 				if nd := du + int64(r.BoundaryWeight); nd > dist[to] {
 					dist[to] = nd
+					relaxed++
 					pathLen[to] = pathLen[u] + 1
 					if int(pathLen[to]) >= n {
+						s.Relaxations += relaxed
 						return ErrPositiveCycle
 					}
 					if !inQueue[to] {
@@ -240,5 +247,6 @@ func spfaRestricted(adj [][]Edge, s *Scratch, count int, r *Restriction) error {
 			}
 		}
 	}
+	s.Relaxations += relaxed
 	return nil
 }

@@ -82,8 +82,19 @@ type Config struct {
 	// to every SharedUser agent. Harnesses running many executions of one
 	// network — sweeps, benchmarks — build the engine once and put it here,
 	// so the aux band, presizing hints and scratch pool amortize across
-	// runs. It must have been built for Net.
+	// runs. It must have been built for Net or a content-equal network.
 	Engine *bounds.NetworkEngine
+	// Fingerprint, when nonzero (and Engine is set), is the content
+	// fingerprint (run.Run.Fingerprint) this execution is expected to
+	// record — known up front for deterministic policies by pre-simulating
+	// once, or from an earlier recording. Run then stamps the per-run
+	// engine through the network engine's standing-prefix cache
+	// (bounds.NetworkEngine.NewRunAt): a cached identical run's standing
+	// graph is reused outright, and on a miss the completed run is frozen
+	// into the cache for the executions that follow. Run fails if the
+	// recording's fingerprint comes out different — a wrong prediction
+	// must surface, not poison the cache.
+	Fingerprint uint64
 }
 
 // Result is the outcome of a live execution.
@@ -94,6 +105,10 @@ type Result struct {
 	Run *run.Run
 	// Actions lists agent actions in (time, process) order.
 	Actions []Action
+	// PrefixHit reports that the run's knowledge engine was stamped from a
+	// frozen standing prefix of an identical earlier run
+	// (Config.Fingerprint hit the network engine's prefix cache).
+	PrefixHit bool
 }
 
 // batch is what the environment hands a process goroutine at one tick. The
@@ -136,14 +151,17 @@ func Run(cfg Config) (*Result, error) {
 	net := cfg.Net
 	n := net.N()
 	shared := cfg.Shared
+	stamped := false // this Run stamped shared itself, so it commits it
+	prefixHit := false
 	if shared == nil && cfg.Engine != nil {
-		if cfg.Engine.Net() != net {
+		if en := cfg.Engine.Net(); en != net && en.Fingerprint() != net.Fingerprint() {
 			return nil, errors.New("live: Config.Engine was built for a different network")
 		}
-		shared = cfg.Engine.NewRun()
+		shared, prefixHit = cfg.Engine.NewRunAt(cfg.Fingerprint)
+		stamped = true
 	}
 	if shared != nil {
-		if shared.Net() != net {
+		if sn := shared.Net(); sn != net && sn.Fingerprint() != net.Fingerprint() {
 			return nil, errors.New("live: Config.Shared was built for a different network")
 		}
 		for _, agent := range cfg.Agents {
@@ -288,6 +306,17 @@ func Run(cfg Config) (*Result, error) {
 	r, err := bl.Build()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Fingerprint != 0 && r.Fingerprint() != cfg.Fingerprint {
+		return nil, fmt.Errorf("live: recorded run fingerprint %#x differs from Config.Fingerprint %#x",
+			r.Fingerprint(), cfg.Fingerprint)
+	}
+	if stamped {
+		// Freeze the fully-absorbed standing state for identical later runs
+		// (no-op unless NewRunAt missed); the fingerprint check above keeps
+		// mispredicted runs out of the cache.
+		shared.CommitPrefix()
+		res.PrefixHit = prefixHit
 	}
 	res.Run = r
 	return res, nil

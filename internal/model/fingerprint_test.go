@@ -1,0 +1,43 @@
+package model
+
+import "testing"
+
+// TestNetworkFingerprint pins the content-hash contract behind the engine
+// and prefix cache keys: structurally equal networks agree regardless of
+// builder insertion order, any content change — size, wiring, either bound —
+// separates the hashes, and no network hashes to the reserved 0.
+func TestNetworkFingerprint(t *testing.T) {
+	base, err := NewBuilder(3).Chan(1, 2, 1, 4).Chan(2, 3, 2, 5).Chan(3, 1, 1, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() == 0 {
+		t.Fatal("zero fingerprint")
+	}
+	reordered, err := NewBuilder(3).Chan(3, 1, 1, 1).Chan(1, 2, 1, 4).Chan(2, 3, 2, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() != reordered.Fingerprint() {
+		t.Fatal("insertion order changed the fingerprint")
+	}
+	variants := map[string]*Builder{
+		"extra process":   NewBuilder(4).Chan(1, 2, 1, 4).Chan(2, 3, 2, 5).Chan(3, 1, 1, 1),
+		"rewired channel": NewBuilder(3).Chan(1, 2, 1, 4).Chan(2, 3, 2, 5).Chan(3, 2, 1, 1),
+		"lower changed":   NewBuilder(3).Chan(1, 2, 2, 4).Chan(2, 3, 2, 5).Chan(3, 1, 1, 1),
+		"upper changed":   NewBuilder(3).Chan(1, 2, 1, 4).Chan(2, 3, 2, 6).Chan(3, 1, 1, 1),
+		"extra channel":   NewBuilder(3).Chan(1, 2, 1, 4).Chan(2, 3, 2, 5).Chan(3, 1, 1, 1).Chan(1, 3, 1, 2),
+	}
+	for what, vb := range variants {
+		v, err := vb.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: fingerprint did not change", what)
+		}
+	}
+	if MustComplete(6, 1, 5).Fingerprint() != MustComplete(6, 1, 5).Fingerprint() {
+		t.Error("equal canonical builds disagree")
+	}
+}

@@ -102,6 +102,27 @@ type Network struct {
 	channels []Channel // aligned with arcs, for Channels()
 	maxUpper int
 	minLower int
+
+	// fingerprint is the content hash of the network (see Fingerprint).
+	fingerprint uint64
+}
+
+// FNV-1a parameters of the content fingerprints. The same mixing constants
+// are used by internal/run's event fingerprints, so the two hash families
+// compose into the content-addressed prefix keys of bounds.NewRunAt.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a hash, byte by byte.
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
 }
 
 // Errors returned by network construction and path queries.
@@ -224,6 +245,20 @@ func (b *Builder) Build() (*Network, error) {
 		net.inIDs[slot] = a.ID
 		net.inFrom[slot] = a.From
 	}
+	// Content fingerprint over the canonical (sorted) arc list: two Build
+	// calls over equal topologies produce equal fingerprints no matter how
+	// the channels were declared.
+	h := fnvMix(fnvOffset, uint64(n))
+	for _, a := range net.arcs {
+		h = fnvMix(h, uint64(a.From))
+		h = fnvMix(h, uint64(a.To))
+		h = fnvMix(h, uint64(a.Bounds.Lower))
+		h = fnvMix(h, uint64(a.Bounds.Upper))
+	}
+	if h == 0 {
+		h = 1 // 0 is the "no fingerprint" sentinel of the consumers
+	}
+	net.fingerprint = h
 	return net, nil
 }
 
@@ -238,6 +273,14 @@ func (b *Builder) MustBuild() *Network {
 
 // N returns the number of processes.
 func (net *Network) N() int { return net.n }
+
+// Fingerprint returns the network's content hash: a 64-bit FNV-1a digest of
+// the process count and every channel's (from, to, lower, upper) in canonical
+// ChanID order. Structurally equal networks — however and whenever they were
+// built — share a fingerprint, so caches keyed by it (the sweep engine map,
+// the prefix hash's network component in bounds) deduplicate topologies that
+// pointer identity would miss. It is never zero.
+func (net *Network) Fingerprint() uint64 { return net.fingerprint }
 
 // Procs returns the process ids 1..n in order.
 func (net *Network) Procs() []ProcID {

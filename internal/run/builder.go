@@ -227,6 +227,19 @@ func (bl *Builder) Build() (*Run, error) {
 			sp.hi = int32(idx + 1)
 		}
 	}
+	// Content fingerprint over the canonical event log: deliveries in the
+	// arrival order just established and externals in recorded order. The
+	// sort above makes the hash independent of event insertion order, so the
+	// interleaving differences between the sim and live environment loops
+	// cannot split fingerprints of byte-identical recordings.
+	fph := fpMix(fpSeed(bl.net), uint64(bl.horizon))
+	for _, d := range r.deliveries {
+		fph = fpDelivery(fph, d)
+	}
+	for _, e := range r.externals {
+		fph = fpExternal(fph, e)
+	}
+	r.fingerprint = fpFinish(fph)
 	return r, nil
 }
 

@@ -104,6 +104,9 @@ type Run struct {
 	sent map[sentKey]int
 
 	pending []Pending
+
+	// fingerprint is the content hash of the recording (see Fingerprint).
+	fingerprint uint64
 }
 
 // flat returns the node's index into flat per-node tables; the caller must

@@ -57,6 +57,11 @@ type View struct {
 	// external input, mirroring externals.
 	extLog []External
 
+	// fp is the rolling event-prefix hash over the two logs in recording
+	// order (see Fingerprint), folded forward by recordDelivery and
+	// recordExternal.
+	fp uint64
+
 	// merged[id] records how much of source view id's logs this view has
 	// already merged. Successive snapshots of one view are prefix-extensions
 	// of each other (logs only append), so a receiver that keeps receiving
@@ -88,6 +93,7 @@ func ViewOf(r *Run, sigma BasicNode) (*View, error) {
 		members:   append([]int(nil), ps.members...),
 		sent:      make(map[sentKey]BasicNode),
 		externals: make(map[BasicNode][]string),
+		fp:        fpMix(fpSeed(r.net), uint64(sigma.Proc)),
 	}
 	for _, d := range r.deliveries {
 		if !ps.Contains(d.To) {
@@ -112,6 +118,7 @@ func NewLocalView(net *model.Network, p model.ProcID) *View {
 		members:   make([]int, net.N()),
 		sent:      make(map[sentKey]BasicNode),
 		externals: make(map[BasicNode][]string),
+		fp:        fpMix(fpSeed(net), uint64(p)),
 	}
 	for i := range v.members {
 		v.members[i] = -1
@@ -126,7 +133,9 @@ func (v *View) recordDelivery(from, to BasicNode, ch model.ChanID) {
 		return
 	}
 	v.sent[key] = to
-	v.log = append(v.log, Delivery{From: from, To: to, Chan: ch})
+	d := Delivery{From: from, To: to, Chan: ch}
+	v.log = append(v.log, d)
+	v.fp = fpDelivery(v.fp, d)
 }
 
 func (v *View) recordExternal(node BasicNode, label string) {
@@ -136,7 +145,9 @@ func (v *View) recordExternal(node BasicNode, label string) {
 		}
 	}
 	v.externals[node] = append(v.externals[node], label)
-	v.extLog = append(v.extLog, External{To: node, Label: label})
+	e := External{To: node, Label: label}
+	v.extLog = append(v.extLog, e)
+	v.fp = fpExternal(v.fp, e)
 	// Merge order is not timeline order, so the index keeps the smallest
 	// index per (process, label). Initial nodes absorb no externals by
 	// construction; the guard keeps the index aligned with FindExternal's
@@ -415,6 +426,7 @@ func (v *View) Clone() *View {
 		externals: make(map[BasicNode][]string, len(v.externals)),
 		log:       append([]Delivery(nil), v.log...),
 		extLog:    append([]External(nil), v.extLog...),
+		fp:        v.fp,
 	}
 	for key, node := range v.sent {
 		c.sent[key] = node

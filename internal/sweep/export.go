@@ -22,6 +22,7 @@ var csvHeader = []string{
 	"task_runs", "acted",
 	"gap_mean", "gap_min", "gap_p50", "gap_p90", "gap_max", "gap_stddev",
 	"agents", "agents_acted",
+	"prefix_hits", "prefix_misses",
 }
 
 // WriteCSV renders aggregates as CSV in the given order, one row per
@@ -44,6 +45,7 @@ func WriteCSV(w io.Writer, aggs []Aggregate) error {
 			strconv.Itoa(a.TaskRuns), strconv.Itoa(a.Acted),
 			"", "", "", "", "", "",
 			strconv.Itoa(a.AgentRuns), strconv.Itoa(a.AgentsActed),
+			strconv.Itoa(a.PrefixHits), strconv.Itoa(a.PrefixMisses),
 		}
 		if a.Acted > 0 {
 			row[17] = f(a.Gap.Mean)

@@ -16,7 +16,6 @@ import (
 
 	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/live"
-	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/scenario"
 	"github.com/clockless/zigzag/internal/sim"
 	"github.com/clockless/zigzag/internal/stats"
@@ -36,17 +35,25 @@ const (
 // PolicySpec names a delivery-policy family and constructs a fresh instance
 // per cell. Stateful policies (sim.Random) must not be shared across cells,
 // so the grid carries factories rather than policy values.
+//
+// Deterministic declares that the family's schedule ignores the seed: every
+// seed of a deterministic policy produces the identical run, so its live
+// cells share one run content fingerprint and route through the network
+// engine's standing-prefix cache (the first cell of each distinct run builds
+// the standing graph, every other cell stamps it). Leave it false for
+// seed-sensitive families.
 type PolicySpec struct {
-	Name string
-	New  func(seed int64) sim.Policy
+	Name          string
+	New           func(seed int64) sim.Policy
+	Deterministic bool
 }
 
 // DefaultPolicies returns the canonical policy families: the two latency
 // extremes and the seeded uniform-random environment.
 func DefaultPolicies() []PolicySpec {
 	return []PolicySpec{
-		{Name: "eager", New: func(int64) sim.Policy { return sim.Eager{} }},
-		{Name: "lazy", New: func(int64) sim.Policy { return sim.Lazy{} }},
+		{Name: "eager", New: func(int64) sim.Policy { return sim.Eager{} }, Deterministic: true},
+		{Name: "lazy", New: func(int64) sim.Policy { return sim.Lazy{} }, Deterministic: true},
 		{Name: "random", New: func(seed int64) sim.Policy { return sim.NewRandom(seed) }},
 	}
 }
@@ -60,11 +67,13 @@ type Grid struct {
 	// Live lists scenarios additionally executed as live cells: the
 	// goroutine-per-process environment drives one live.Protocol2 agent per
 	// task, all subscribing (through per-run bounds.Shared handles) to ONE
-	// bounds.NetworkEngine per distinct network — built once by Run and
-	// reused across every policy and seed of that network, which is the
-	// cross-run amortization the engine tier exists for. Live cells
-	// enumerate after the sim cells, scenario-major, then policy, then
-	// seed, and report under Mode "live".
+	// bounds.NetworkEngine per distinct network content — built once by Run,
+	// keyed by the network's fingerprint, and reused across every policy and
+	// seed of that topology, which is the cross-run amortization the engine
+	// tier exists for. Cells of Deterministic policies additionally share
+	// their standing run material through the engine's prefix cache (see
+	// RunWithEngines). Live cells enumerate after the sim cells,
+	// scenario-major, then policy, then seed, and report under Mode "live".
 	Live     []*scenario.Scenario
 	Policies []PolicySpec
 	Seeds    []int64
@@ -105,6 +114,29 @@ type Result struct {
 	// within the horizon; ActTime carries the earliest act when any did.
 	Agents      int
 	AgentsActed int
+
+	// Prefix reports how a deterministic live cell met the network engine's
+	// standing-prefix cache: PrefixHit when the cell stamped its knowledge
+	// engine from a frozen identical run, PrefixMiss when it built (and
+	// froze) the standing graph itself. Empty for sim cells and
+	// seed-sensitive policies, which bypass the cache.
+	Prefix string
+}
+
+// Result.Prefix values.
+const (
+	PrefixHit  = "hit"
+	PrefixMiss = "miss"
+)
+
+// EngineReport summarizes the knowledge-engine work behind a sweep's live
+// cells: how many distinct networks (by content fingerprint) were served and
+// the engines' cumulative counters summed — runs stamped, standing-prefix
+// cache traffic, bytes copied stamping standing graphs, and SPFA relaxations
+// across every knowledge query.
+type EngineReport struct {
+	Networks int
+	Stats    bounds.EngineStats
 }
 
 // Run executes every cell of the grid across a worker pool and returns the
@@ -113,69 +145,167 @@ type Result struct {
 // affect it); per-cell failures are recorded in Result.Err rather than
 // aborting the sweep.
 func (g Grid) Run() ([]Result, error) {
+	results, _, err := g.RunWithEngines()
+	return results, err
+}
+
+// RunWithEngines is Run, additionally reporting the knowledge-engine work
+// behind the grid's live cells.
+//
+// ONE knowledge engine per distinct network CONTENT serves every live cell
+// of that topology: engines are keyed by the network's content fingerprint,
+// so scenario families that rebuild structurally equal *model.Network values
+// (axis sweeps re-deriving the registry per variant) still share one engine.
+// Each engine's standing-prefix cache then shares run material across cells:
+// cells of seed-independent (Deterministic) policies pre-simulate once per
+// (scenario, policy) to learn their run fingerprint and stamp their per-run
+// engines through bounds.NetworkEngine.NewRunAt — the first cell of each
+// distinct run freezes the standing graph it built, every later identical
+// cell (other seeds, or another deterministic policy that happens to produce
+// the same schedule) reuses it. To keep the hit/miss accounting
+// deterministic under any worker count, all deterministic live cells of one
+// network run as a single sequential job in enumeration order; every other
+// cell is its own job.
+func (g Grid) RunWithEngines() ([]Result, EngineReport, error) {
 	if g.Size() == 0 {
-		return nil, ErrEmptyGrid
+		return nil, EngineReport{}, ErrEmptyGrid
 	}
 	for _, sc := range g.Scenarios {
 		if sc == nil {
-			return nil, fmt.Errorf("sweep: nil scenario in grid")
+			return nil, EngineReport{}, fmt.Errorf("sweep: nil scenario in grid")
 		}
 	}
 	for _, sc := range g.Live {
 		if sc == nil {
-			return nil, fmt.Errorf("sweep: nil live scenario in grid")
+			return nil, EngineReport{}, fmt.Errorf("sweep: nil live scenario in grid")
 		}
 	}
-	// ONE knowledge engine per distinct network serves every live cell of
-	// that topology: the aux band, presizing hints and scratch pool are
-	// derived once here and amortized across all policies and seeds
-	// (engines are safe for concurrent runs, so workers share them freely).
-	engines := make(map[*model.Network]*bounds.NetworkEngine)
+	engines := make(map[uint64]*bounds.NetworkEngine)
 	for _, sc := range g.Live {
-		if engines[sc.Net] == nil {
-			engines[sc.Net] = bounds.NewNetworkEngine(sc.Net)
+		if fp := sc.Net.Fingerprint(); engines[fp] == nil {
+			engines[fp] = bounds.NewNetworkEngine(sc.Net)
 		}
 	}
+
+	// Carve the grid into jobs: one sequential block per network holding its
+	// deterministic live cells, singleton jobs (subslices of one shared
+	// backing) for everything else.
+	all := make([]int, g.Size())
+	blocks := make(map[uint64][]int)
+	var blockOrder []uint64
+	var jobList [][]int
+	for i := range all {
+		all[i] = i
+		if sc, spec, _, isLive := g.decode(i); isLive && spec.Deterministic {
+			fp := sc.Net.Fingerprint()
+			if blocks[fp] == nil {
+				blockOrder = append(blockOrder, fp)
+			}
+			blocks[fp] = append(blocks[fp], i)
+		} else {
+			jobList = append(jobList, all[i:i+1])
+		}
+	}
+	for _, fp := range blockOrder {
+		jobList = append(jobList, blocks[fp])
+	}
+
 	workers := g.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > g.Size() {
-		workers = g.Size()
+	if workers > len(jobList) {
+		workers = len(jobList)
 	}
 
+	memo := &fpMemo{m: make(map[fpMemoKey]uint64)}
 	results := make([]Result, g.Size())
-	jobs := make(chan int)
+	jobs := make(chan []int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				results[i] = g.cell(i, engines)
+			for job := range jobs {
+				for _, i := range job {
+					results[i] = g.cell(i, engines, memo)
+				}
 			}
 		}()
 	}
-	for i := range results {
-		jobs <- i
+	for _, job := range jobList {
+		jobs <- job
 	}
 	close(jobs)
 	wg.Wait()
-	return results, nil
+
+	var rep EngineReport
+	rep.Networks = len(engines)
+	for _, eng := range engines {
+		st := eng.Stats()
+		rep.Stats.Runs += st.Runs
+		rep.Stats.PrefixHits += st.PrefixHits
+		rep.Stats.PrefixMisses += st.PrefixMisses
+		rep.Stats.PrefixEvictions += st.PrefixEvictions
+		rep.Stats.CloneBytes += st.CloneBytes
+		rep.Stats.Relaxations += st.Relaxations
+	}
+	return results, rep, nil
 }
 
-// cell runs the i-th cell of the enumeration: sim cells first, then live
-// cells, each block scenario-major, then policy, then seed.
-func (g Grid) cell(i int, engines map[*model.Network]*bounds.NetworkEngine) Result {
+// decode maps the i-th cell of the enumeration to its coordinates: sim cells
+// first, then live cells, each block scenario-major, then policy, then seed.
+func (g Grid) decode(i int) (sc *scenario.Scenario, spec PolicySpec, seed int64, isLive bool) {
 	nSeeds, nPols := len(g.Seeds), len(g.Policies)
 	scIdx := i / (nPols * nSeeds)
-	spec := g.Policies[(i/nSeeds)%nPols]
-	seed := g.Seeds[i%nSeeds]
+	spec = g.Policies[(i/nSeeds)%nPols]
+	seed = g.Seeds[i%nSeeds]
 	if scIdx >= len(g.Scenarios) {
-		sc := g.Live[scIdx-len(g.Scenarios)]
-		return liveCell(sc, spec, seed, engines[sc.Net])
+		return g.Live[scIdx-len(g.Scenarios)], spec, seed, true
 	}
-	sc := g.Scenarios[scIdx]
+	return g.Scenarios[scIdx], spec, seed, false
+}
+
+// fpMemoKey identifies the one run every seed of a deterministic policy
+// produces on a scenario.
+type fpMemoKey struct{ sc, pol string }
+
+// fpMemo caches pre-simulated run fingerprints per (scenario, policy), so
+// only the first cell of a deterministic block pays the extra simulation.
+type fpMemo struct {
+	mu sync.Mutex
+	m  map[fpMemoKey]uint64
+}
+
+// fingerprint returns the run content fingerprint of the scenario under the
+// (deterministic) policy family, pre-simulating on first use. Concurrent
+// first calls may both simulate; deterministic policies make the results
+// identical, so last-write-wins is harmless.
+func (fm *fpMemo) fingerprint(sc *scenario.Scenario, spec PolicySpec, seed int64) (uint64, error) {
+	k := fpMemoKey{sc: sc.Name, pol: spec.Name}
+	fm.mu.Lock()
+	fp, ok := fm.m[k]
+	fm.mu.Unlock()
+	if ok {
+		return fp, nil
+	}
+	r, err := sc.Simulate(spec.New(seed))
+	if err != nil {
+		return 0, err
+	}
+	fp = r.Fingerprint()
+	fm.mu.Lock()
+	fm.m[k] = fp
+	fm.mu.Unlock()
+	return fp, nil
+}
+
+// cell runs the i-th cell of the enumeration.
+func (g Grid) cell(i int, engines map[uint64]*bounds.NetworkEngine, memo *fpMemo) Result {
+	sc, spec, seed, isLive := g.decode(i)
+	if isLive {
+		return liveCell(sc, spec, seed, engines[sc.Net.Fingerprint()], memo)
+	}
 
 	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: ModeSim}
 	r, err := sc.Simulate(spec.New(seed))
@@ -208,18 +338,38 @@ func (g Grid) cell(i int, engines map[*model.Network]*bounds.NetworkEngine) Resu
 // live.Protocol2 agents (one per task, acting with labels b1, b2, ...), the
 // run subscribes to the network's shared engine, and the cell reports the
 // recorded run's shape plus how many agents acted. Scenarios without tasks
-// still execute (pure FFIP relay runs) and report shape only.
-func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, eng *bounds.NetworkEngine) Result {
+// still execute (pure FFIP relay runs) and report shape only. Cells of
+// deterministic policies learn their run fingerprint up front (memoized
+// pre-simulation) and route their per-run engine through the network
+// engine's standing-prefix cache.
+func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, eng *bounds.NetworkEngine, memo *fpMemo) Result {
 	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: ModeLive}
+	var runFP uint64
+	if spec.Deterministic {
+		fp, err := memo.fingerprint(sc, spec, seed)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		runFP = fp
+	}
 	tasks := sc.TaskList()
 	agents, agentMap := live.NewTaskAgents(tasks)
 	out, err := live.Run(live.Config{
 		Net: sc.Net, Horizon: sc.Horizon, Policy: spec.New(seed),
 		Externals: sc.Externals, Agents: agentMap, Engine: eng,
+		Fingerprint: runFP,
 	})
 	if err != nil {
 		res.Err = err
 		return res
+	}
+	if runFP != 0 {
+		if out.PrefixHit {
+			res.Prefix = PrefixHit
+		} else {
+			res.Prefix = PrefixMiss
+		}
 	}
 	for i := range agents {
 		if aerr := agents[i].Err(); aerr != nil {
@@ -259,6 +409,11 @@ type Aggregate struct {
 	// Live tallies: agents hosted and agents acted, summed over cells.
 	AgentRuns   int
 	AgentsActed int
+
+	// Standing-prefix cache tallies over the group's deterministic live
+	// cells (both zero when the group bypasses the cache).
+	PrefixHits   int
+	PrefixMisses int
 }
 
 // Summarize groups results by (scenario, policy, mode) in first-appearance
@@ -295,6 +450,12 @@ func Summarize(results []Result) []Aggregate {
 		}
 		a.AgentRuns += res.Agents
 		a.AgentsActed += res.AgentsActed
+		switch res.Prefix {
+		case PrefixHit:
+			a.PrefixHits++
+		case PrefixMiss:
+			a.PrefixMisses++
+		}
 	}
 	for i := range aggs {
 		s := samples[key{aggs[i].Scenario, aggs[i].Policy, aggs[i].Mode}]
@@ -308,11 +469,13 @@ func Summarize(results []Result) []Aggregate {
 // Table renders aggregates as an aligned text table, one row per
 // (scenario, policy, mode) triple, in the given order. The acted column
 // reads acted/posed: task cells over task runs for sim rows, agents acted
-// over agents hosted for live rows.
+// over agents hosted for live rows. The prefix column reads hits/routed
+// over the group's standing-prefix cache traffic ("-" when the group
+// bypasses the cache).
 func Table(aggs []Aggregate) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]")
+	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix")
 	for _, a := range aggs {
 		acted := "-"
 		gapMean := "-"
@@ -327,13 +490,17 @@ func Table(aggs []Aggregate) string {
 		if a.AgentRuns > 0 {
 			acted = fmt.Sprintf("%d/%d", a.AgentsActed, a.AgentRuns)
 		}
+		prefix := "-"
+		if cached := a.PrefixHits + a.PrefixMisses; cached > 0 {
+			prefix = fmt.Sprintf("%d/%d", a.PrefixHits, cached)
+		}
 		mode := a.Mode
 		if mode == "" {
 			mode = ModeSim
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\n",
 			a.Scenario, mode, a.Policy, a.Runs, a.Errors, a.Nodes.Mean, a.Deliveries.Mean,
-			acted, gapMean, gapRange)
+			acted, gapMean, gapRange, prefix)
 	}
 	tw.Flush()
 	return b.String()

@@ -211,6 +211,84 @@ func TestRunLiveReproducibleAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestRunPrefixSharing pins the standing-prefix routing of deterministic
+// live cells: per (scenario, deterministic policy), the first seed builds
+// and freezes the run's standing graph (miss) and every later seed stamps
+// it (hit); seed-sensitive policies bypass the cache; the engine report's
+// totals agree with the per-cell tallies; and the aggregates carry the
+// group counts.
+func TestRunPrefixSharing(t *testing.T) {
+	reg := scenario.Registry(0)
+	g := Grid{
+		Live:     []*scenario.Scenario{reg["coord-m2"], reg["coord-m4"]},
+		Policies: DefaultPolicies(),
+		Seeds:    []int64{1, 2, 3},
+		Workers:  4,
+	}
+	results, report, err := g.RunWithEngines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := 0, 0
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("cell %d failed: %v", i, res.Err)
+		}
+		_, spec, _, _ := g.decode(i)
+		switch {
+		case !spec.Deterministic:
+			if res.Prefix != "" {
+				t.Fatalf("cell %d (%s): seed-sensitive policy reports prefix %q", i, res.Policy, res.Prefix)
+			}
+		case i%len(g.Seeds) == 0:
+			// First seed of each (scenario, policy): distinct runs per
+			// deterministic policy on these scenarios, so each builds afresh.
+			if res.Prefix != PrefixMiss {
+				t.Fatalf("cell %d (%s/%s seed %d): prefix %q, want miss",
+					i, res.Scenario, res.Policy, res.Seed, res.Prefix)
+			}
+			misses++
+		default:
+			if res.Prefix != PrefixHit {
+				t.Fatalf("cell %d (%s/%s seed %d): prefix %q, want hit",
+					i, res.Scenario, res.Policy, res.Seed, res.Prefix)
+			}
+			hits++
+		}
+	}
+	if report.Networks != 2 {
+		t.Fatalf("report covers %d networks, want 2", report.Networks)
+	}
+	if int(report.Stats.PrefixHits) != hits || int(report.Stats.PrefixMisses) != misses {
+		t.Fatalf("report %d/%d hits/misses, cells say %d/%d",
+			report.Stats.PrefixHits, report.Stats.PrefixMisses, hits, misses)
+	}
+	if report.Stats.PrefixEvictions != 0 {
+		t.Fatalf("%d evictions on a small grid", report.Stats.PrefixEvictions)
+	}
+	if want := int64(g.Size()); report.Stats.Runs != want {
+		t.Fatalf("report stamped %d runs, want %d", report.Stats.Runs, want)
+	}
+	if report.Stats.Relaxations == 0 || report.Stats.CloneBytes == 0 {
+		t.Fatal("work counters stayed zero across a live sweep")
+	}
+	for _, a := range Summarize(results) {
+		if a.Mode != ModeLive {
+			continue
+		}
+		if a.Policy == "random" {
+			if a.PrefixHits != 0 || a.PrefixMisses != 0 {
+				t.Fatalf("%s/%s: random aggregate counts cache traffic", a.Scenario, a.Policy)
+			}
+			continue
+		}
+		if a.PrefixMisses != 1 || a.PrefixHits != len(g.Seeds)-1 {
+			t.Fatalf("%s/%s: %d hits / %d misses, want %d/1",
+				a.Scenario, a.Policy, a.PrefixHits, a.PrefixMisses, len(g.Seeds)-1)
+		}
+	}
+}
+
 func TestRunEmptyGrid(t *testing.T) {
 	if _, err := (Grid{}).Run(); !errors.Is(err, ErrEmptyGrid) {
 		t.Errorf("got %v, want ErrEmptyGrid", err)
