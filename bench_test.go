@@ -416,6 +416,36 @@ func BenchmarkProtocol2Rebuild(b *testing.B) {
 	}
 }
 
+// BenchmarkProtocol2EarlyOnline (B1): the Early-kind online decision loop —
+// the query source moves with B's state while the target stays fixed, so
+// the engine's reverse (fixed-target) cache carries the per-state cost.
+func BenchmarkProtocol2EarlyOnline(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		c := bench.Protocol2EarlyOnline(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
+	}
+}
+
+// BenchmarkProtocol2EarlyShared is the Early-kind loop through a
+// bounds.Shared handle: the reverse cache under the restricted standing
+// graph.
+func BenchmarkProtocol2EarlyShared(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		c := bench.Protocol2EarlyShared(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
+	}
+}
+
+// BenchmarkProtocol2EarlyRebuild is the fresh-build-per-state baseline
+// recorded alongside the Early variants; like Protocol2Rebuild it stops at
+// n=32.
+func BenchmarkProtocol2EarlyRebuild(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		c := bench.Protocol2EarlyRebuild(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
+	}
+}
+
 // BenchmarkProtocol2Shared (B1): m concurrent Protocol2 agents deciding
 // over one run through ONE shared per-run knowledge engine (bounds.Shared)
 // — the standing bounds graph is built once and every agent pays only its

@@ -9,7 +9,7 @@
 //
 //	zigzag-sim [-scenario name] [-policy eager|lazy|random] [-seed n]
 //	           [-x n] [-coord-m m] [-timeline n] [-list] [-dump file]
-//	           [-engine offline|rebuild|online|shared]
+//	           [-engine offline|rebuild|online|shared] [-kind late|early|mixed]
 //	zigzag-sim -sweep [-seeds n] [-workers n] [-x n] [-coord-m m] [-live]
 //	           [-format table|csv|json]
 //	           [-sweep-x 0,2,4] [-sweep-scale 1,1.5,2] [-sweep-rand 8:12:1,12:20:2]
@@ -18,7 +18,10 @@
 // the default "offline" keeps the recorded-run analysis, while rebuild,
 // online and shared execute the scenario's tasks live — one agent goroutine
 // per task — on the chosen engine and cross-check every act against the
-// offline optimum. -coord-m raises the registry's multi-agent family
+// offline optimum. -kind overrides every task's coordination kind for such
+// a run (late, early, or the default mixed which keeps the scenario's own
+// kinds) — handy for driving the Early-kind reverse query cache end to
+// end. -coord-m raises the registry's multi-agent family
 // ceiling (coord-m8/coord-m16 enter at 8/16). With -sweep, -live adds the
 // registry's multi-agent scenarios as live grid cells driven through ONE
 // shared knowledge engine per network; the other -sweep-* flags add grid
@@ -34,6 +37,7 @@ import (
 	"strings"
 
 	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/coord"
 	"github.com/clockless/zigzag/internal/live"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/scenario"
@@ -51,6 +55,7 @@ func main() {
 		x        = flag.Int("x", 0, "override the task's required separation (0 keeps the default)")
 		coordM   = flag.Int("coord-m", scenario.DefaultCoordM, "multi-agent family ceiling: include coord-m scenarios up to this many agents")
 		engine   = flag.String("engine", "offline", "Protocol2 engine for a single-scenario run: offline (recorded-run analysis), rebuild, online or shared (live execution)")
+		kind     = flag.String("kind", "mixed", "with -engine: override every task's kind — late, early or mixed (keep scenario defaults)")
 		timeline = flag.Int("timeline", 32, "timeline window to render")
 		list     = flag.Bool("list", false, "list scenarios and exit")
 		dump     = flag.String("dump", "", "write the recorded run as JSON to this file")
@@ -113,7 +118,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *engine != "offline" {
-		if err := runLiveScenario(sc, pol, *engine, *timeline, *dump); err != nil {
+		if err := runLiveScenario(sc, pol, *engine, *kind, *timeline, *dump); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -196,7 +201,7 @@ func main() {
 // graph, per-agent frontier handles) — and cross-checks every agent's act
 // against the offline optimum on the recorded run, which dump (when
 // non-empty) archives as JSON exactly like the offline path does.
-func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine string, timeline int, dump string) error {
+func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine, kind string, timeline int, dump string) error {
 	switch engine {
 	case "rebuild", "online", "shared":
 	default:
@@ -205,6 +210,19 @@ func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine string, timel
 	tasks := sc.TaskList()
 	if len(tasks) == 0 {
 		return fmt.Errorf("scenario %s poses no coordination task; -engine needs one (try coord-m4)", sc.Name)
+	}
+	switch kind {
+	case "mixed":
+	case "late":
+		for i := range tasks {
+			tasks[i].Kind = coord.Late
+		}
+	case "early":
+		for i := range tasks {
+			tasks[i].Kind = coord.Early
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (want late, early or mixed)", kind)
 	}
 	agents, agentMap := live.NewTaskAgents(tasks)
 	cfg := live.Config{
@@ -375,6 +393,8 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool) e
 		fmt.Printf("\nengines: %d network(s), %d run(s) stamped; prefix cache %d hit / %d miss / %d evicted; %d clone bytes, %d relaxations\n",
 			report.Networks, st.Runs, st.PrefixHits, st.PrefixMisses, st.PrefixEvictions,
 			st.CloneBytes, st.Relaxations)
+		fmt.Printf("reverse cache: %d warm hit(s) / %d rebuild(s), %d band refresh(es), %d reverse relaxations\n",
+			st.RevHits, st.RevRebuilds, st.BandRefreshes, st.RevRelaxations)
 	}
 	failed := 0
 	for _, res := range results {

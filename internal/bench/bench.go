@@ -183,6 +183,54 @@ func protocol2(n int, name string, rebuild bool) Case {
 	}
 }
 
+// protocol2Early measures the per-state decision loop of an EARLY-kind
+// Protocol2 agent over the same recorded scaling run as protocol2: the
+// query source is B's moving state while the target stays fixed on A's
+// node, so the forward (fixed-source) cache misses at every state and the
+// engines' reverse (fixed-target) caches carry the load. rebuild selects
+// the fresh-build-per-state baseline; shared routes the agent through a
+// bounds.Shared handle instead of a private bounds.Online.
+func protocol2Early(n int, name string, rebuild, shared bool) Case {
+	return Case{
+		Name: fmt.Sprintf("%s/n=%d", name, n),
+		Run: func(b *testing.B) {
+			in := instance(n)
+			task := protocol2Task(in)
+			task.Kind = coord.Early
+			r, err := sim.Simulate(sim.Config{
+				Net: in.Net, Horizon: in.Horizon, Policy: sim.NewRandom(11),
+				Externals: sim.GoAt(task.C, task.GoTime, "go"),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches := replayBatches(r, task.B)
+			if len(batches) == 0 {
+				b.Fatal("B never moves")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent := &live.Protocol2{Task: task, Rebuild: rebuild}
+				if shared {
+					agent.Shared = bounds.NewShared(in.Net)
+				}
+				view := run.NewLocalView(in.Net, task.B)
+				for bi := range batches {
+					if _, err := view.Absorb(batches[bi].Receipts, batches[bi].Externals); err != nil {
+						b.Fatal(err)
+					}
+					agent.OnState(view, batches[bi].Externals)
+				}
+				if err := agent.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(batches)), "states")
+		},
+	}
+}
+
 // protocol2Multi measures m concurrent Protocol2 agents deciding over ONE
 // recorded multi-agent run — the workload the shared per-run engine
 // amortizes. Every agent's required separation is raised beyond
@@ -402,6 +450,22 @@ func Protocol2Online(n int) Case { return protocol2(n, "Protocol2Online", false)
 // from scratch at every state.
 func Protocol2Rebuild(n int) Case { return protocol2(n, "Protocol2Rebuild", true) }
 
+// Protocol2EarlyOnline is the Early-kind online decision loop with the
+// incremental bounds.Online engine: the moving-source query shape served by
+// the engine's reverse (fixed-target) cache.
+func Protocol2EarlyOnline(n int) Case { return protocol2Early(n, "Protocol2EarlyOnline", false, false) }
+
+// Protocol2EarlyShared is the Early-kind decision loop through a
+// bounds.Shared handle — the reverse cache under the restricted standing
+// graph.
+func Protocol2EarlyShared(n int) Case { return protocol2Early(n, "Protocol2EarlyShared", false, true) }
+
+// Protocol2EarlyRebuild is the fresh-build-per-state baseline recorded
+// alongside the Early variants.
+func Protocol2EarlyRebuild(n int) Case {
+	return protocol2Early(n, "Protocol2EarlyRebuild", true, false)
+}
+
 // ScalingSimulate measures lockstep simulator throughput (the B1 row). The
 // nodes metric is the determinism guard: it must stay identical across
 // perf-only changes.
@@ -512,6 +576,15 @@ func ExportCases() []Case {
 	}
 	for _, n := range []int{8, 16, 32, 64} {
 		cases = append(cases, Protocol2Online(n))
+	}
+	for _, n := range []int{8, 16, 32} {
+		cases = append(cases, Protocol2EarlyRebuild(n))
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		cases = append(cases, Protocol2EarlyOnline(n))
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		cases = append(cases, Protocol2EarlyShared(n))
 	}
 	for _, m := range scenario.MultiAgentSizes {
 		cases = append(cases, Protocol2MultiOnline(m))

@@ -46,6 +46,9 @@ type NetworkEngine struct {
 	auxBand, auxIdx []int32
 	// boundaryTo maps each band to its psi anchor (aux ids equal band ids).
 	boundaryTo []int32
+	// auxRefresh lists the aux band's vertex ids (0..n-1), the immutable
+	// refresh set reverse queries pass after an E'' retirement.
+	auxRefresh []int
 	// outCap/inCap are the per-process adjacency capacity hints of node
 	// vertices (successor + delivery edge pairs; E'/E'' never enter the
 	// standing tables).
@@ -78,6 +81,7 @@ func NewNetworkEngine(net *model.Network) *NetworkEngine {
 		auxBand:    make([]int32, n),
 		auxIdx:     make([]int32, n),
 		boundaryTo: make([]int32, n),
+		auxRefresh: make([]int, n),
 		outCap:     make([]int, n),
 		inCap:      make([]int, n),
 		chanBit:    make([]uint8, len(net.Arcs())),
@@ -89,6 +93,7 @@ func NewNetworkEngine(net *model.Network) *NetworkEngine {
 		e.auxBand[i] = int32(i)
 		e.auxIdx[i] = graph.AlwaysVisible
 		e.boundaryTo[i] = int32(i)
+		e.auxRefresh[i] = i
 		p := model.ProcID(i + 1)
 		outDeg := len(net.OutArcs(p))
 		inDeg := len(net.InIDs(p))

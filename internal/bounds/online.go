@@ -69,6 +69,23 @@ type Online struct {
 	seeds      []int
 	querySeeds []int
 
+	// The reverse cache serves the inverted (Early-kind) query shape —
+	// fixed target, moving source — by maintaining longest-path distances
+	// INTO revCacheDst over the transposed graph. revSeeds accumulates the
+	// HEADS of edges added since the last reverse relaxation; revRetired
+	// records a leaving-edge removal since, which can lower reverse
+	// distances on the aux band (and only there — node-vertex reverse
+	// distances are knowledge weights, which persist), so the next warm
+	// reverse run re-derives the band from auxRefresh (DESIGN.md §13).
+	revScratch    graph.Scratch
+	revCacheDst   int
+	revCacheValid bool
+	revSeeds      []int
+	revQuerySeeds []int
+	revRetired    bool
+	auxRefresh    []int
+	stats         HandleStats
+
 	// Per-query chain-vertex state, rolled back after each query.
 	chainKeys []chainKey
 	chainIDs  []int
@@ -88,18 +105,21 @@ func NewOnline(view *run.View) *Online {
 	net := view.Net()
 	n := net.N()
 	o := &Online{
-		view:     view,
-		g:        graph.New(n),
-		n:        n,
-		members:  make([]int, n),
-		prev:     make([]int, n),
-		vertexOf: make([][]int32, n),
-		outCap:   make([]int, n),
-		inCap:    make([]int, n),
-		cacheSrc: -1,
+		view:        view,
+		g:           graph.New(n),
+		n:           n,
+		members:     make([]int, n),
+		prev:        make([]int, n),
+		vertexOf:    make([][]int32, n),
+		outCap:      make([]int, n),
+		inCap:       make([]int, n),
+		cacheSrc:    -1,
+		revCacheDst: -1,
+		auxRefresh:  make([]int, n),
 	}
 	for i := range o.members {
 		o.members[i] = -1
+		o.auxRefresh[i] = i
 		p := model.ProcID(i + 1)
 		outDeg := len(net.OutArcs(p))
 		inDeg := len(net.InIDs(p))
@@ -162,6 +182,11 @@ func (o *Online) Sync() error {
 		for k := old + 1; k <= cur; k++ {
 			vtx := o.g.AddVertexWithCaps(o.outCap[p-1], o.inCap[p-1])
 			o.vertexOf[p-1] = append(o.vertexOf[p-1], int32(vtx))
+			if o.revCacheValid {
+				// Reverse seeds are edge HEADS: the new vertex heads its
+				// successor edge and any leaving edges added below.
+				o.revSeeds = append(o.revSeeds, vtx)
+			}
 			if k > 0 {
 				prev := int(o.vertexOf[p-1][k-1])
 				o.g.AddEdge(prev, vtx, 1)
@@ -171,6 +196,9 @@ func (o *Online) Sync() error {
 		bndV := int(o.vertexOf[p-1][cur])
 		o.g.AddEdge(bndV, o.aux(p), 1)
 		o.seeds = append(o.seeds, bndV)
+		if o.revCacheValid {
+			o.revSeeds = append(o.revSeeds, o.aux(p))
+		}
 		first := old + 1
 		if first < 1 {
 			first = 1
@@ -217,10 +245,16 @@ func (o *Online) Sync() error {
 		o.g.AddEdge(u, v, bd.Lower)
 		o.g.AddEdge(v, u, -bd.Upper)
 		o.seeds = append(o.seeds, u, v)
+		if o.revCacheValid {
+			o.revSeeds = append(o.revSeeds, u, v)
+		}
 		if d.From.Index <= o.prev[d.From.Proc-1] {
 			if !o.g.RemoveEdge(o.aux(d.To.Proc), u, -bd.Upper) {
 				return fmt.Errorf("bounds: online sync lost the leaving edge of %s->%d", d.From, d.To.Proc)
 			}
+			// The retirement can lower reverse distances on the aux band;
+			// the next warm reverse run must re-derive it.
+			o.revRetired = o.revRetired || o.revCacheValid
 		}
 		o.logMark++
 	}
@@ -296,6 +330,7 @@ func (o *Online) rollback(base int) {
 	o.chainKeys = o.chainKeys[:0]
 	o.chainIDs = o.chainIDs[:0]
 	o.scratch.Truncate(base)
+	o.revScratch.Truncate(base)
 }
 
 // KnowledgeWeight computes kw = max{ x : K_sigma(theta1 --x--> theta2) },
@@ -324,13 +359,55 @@ func (o *Online) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 	// without disturbing them (see the type comment), so a cached run from
 	// the same source only needs the accumulated delta seeds.
 	var dist []int64
-	if o.cacheValid && u == o.cacheSrc {
+	switch {
+	case o.cacheValid && u == o.cacheSrc:
 		o.querySeeds = append(o.querySeeds[:0], o.seeds...)
 		for i := range o.undo {
 			o.querySeeds = append(o.querySeeds, o.undo[i].parent, o.undo[i].aux)
 		}
 		dist, err = o.g.RelaxFrom(&o.scratch, o.querySeeds)
-	} else {
+	case v < base && (o.cacheValid || o.revCacheValid):
+		// The forward cache exists but misses (the source moved between
+		// queries — the Early shape) or the reverse cache is already warm:
+		// answer from distances INTO the standing target instead, reading
+		// the source's entry. A cold engine never lands here, so Late-kind
+		// agents establish the forward cache as before.
+		if o.revCacheValid && v == o.revCacheDst {
+			o.revQuerySeeds = append(o.revQuerySeeds[:0], o.revSeeds...)
+			for i := range o.undo {
+				// The chain vertex heads its parent's exit edge; deeper
+				// chain hops cascade from it.
+				o.revQuerySeeds = append(o.revQuerySeeds, o.undo[i].parent)
+			}
+			var refresh []int
+			if o.revRetired {
+				refresh = o.auxRefresh
+				o.stats.BandRefreshes++
+			}
+			dist, err = o.g.RelaxReverseFrom(&o.revScratch, o.revQuerySeeds, refresh)
+			o.stats.RevHits++
+		} else {
+			dist, err = o.g.LongestIntoWith(&o.revScratch, v)
+			o.revCacheDst = v
+			o.revCacheValid = true
+			o.stats.RevRebuilds++
+		}
+		o.stats.RevRelaxations += o.revScratch.Relaxations
+		o.revScratch.Relaxations = 0
+		if err != nil {
+			o.revCacheValid = false
+			o.rollback(base)
+			return 0, false, fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
+		}
+		o.revSeeds = o.revSeeds[:0]
+		o.revRetired = false
+		w, reachable := int(dist[u]), dist[u] != graph.NegInf
+		o.rollback(base)
+		if !reachable {
+			return 0, false, nil
+		}
+		return w, true, nil
+	default:
 		dist, err = o.g.LongestWith(&o.scratch, u)
 		o.cacheSrc = u
 		o.cacheValid = u < base
@@ -350,6 +427,9 @@ func (o *Online) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 	}
 	return w, true, nil
 }
+
+// Stats returns the engine's cumulative reverse-cache counters.
+func (o *Online) Stats() HandleStats { return o.stats }
 
 // Knows reports whether K_sigma(theta1 --x--> theta2) holds at the view's
 // current state, agreeing exactly with Extended.Knows on a fresh build.

@@ -36,6 +36,18 @@ type EngineStats struct {
 	// query answered through the engine's handles — the work metric the
 	// standing tiers exist to amortize.
 	Relaxations int64
+	// RevHits / RevRebuilds count reverse-cache (fixed-target, Early-kind)
+	// queries served by a warm reverse restart versus a full reverse SPFA
+	// over the restricted standing graph.
+	RevHits     int64
+	RevRebuilds int64
+	// BandRefreshes counts auxiliary-band refreshes: reverse relaxations
+	// that had to re-derive the psi band because an E'' retirement since the
+	// last reverse run may have lowered its distances.
+	BandRefreshes int64
+	// RevRelaxations counts successful SPFA relaxations spent in reverse
+	// (into-target) queries, disjoint from Relaxations.
+	RevRelaxations int64
 }
 
 // engineStats is the mutable counter block behind EngineStats.
@@ -46,6 +58,10 @@ type engineStats struct {
 	prefixEvictions atomic.Int64
 	cloneBytes      atomic.Int64
 	relaxations     atomic.Int64
+	revHits         atomic.Int64
+	revRebuilds     atomic.Int64
+	bandRefreshes   atomic.Int64
+	revRelaxations  atomic.Int64
 }
 
 func (st *engineStats) snapshot() EngineStats {
@@ -56,6 +72,10 @@ func (st *engineStats) snapshot() EngineStats {
 		PrefixEvictions: st.prefixEvictions.Load(),
 		CloneBytes:      st.cloneBytes.Load(),
 		Relaxations:     st.relaxations.Load(),
+		RevHits:         st.revHits.Load(),
+		RevRebuilds:     st.revRebuilds.Load(),
+		BandRefreshes:   st.bandRefreshes.Load(),
+		RevRelaxations:  st.revRelaxations.Load(),
 	}
 }
 

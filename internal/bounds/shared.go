@@ -242,11 +242,71 @@ type Handle struct {
 	// masked-distance sentinels (see graph.RelaxRestrictedFrom).
 	admitted []int
 
+	// The reverse cache serves the inverted (Early-kind) query shape: the
+	// target is fixed while the source moves with the agent, so u ==
+	// cacheSrc never holds and the forward cache is useless. revScratch —
+	// leased only once the shape appears, so Late-kind agents never pay for
+	// it — holds the fixpoint of longest-path distances INTO revCacheDst
+	// under this handle's frontier. The delta lists mirror the forward
+	// cache's with reverse orientation: revSeeds accumulates the HEADS of
+	// edges that became visible since the last reverse relaxation,
+	// revAdmitted the newly admitted vertices. revRetired records that an
+	// E'' overlay entry retired since: retirement can LOWER reverse
+	// distances on the aux band (and only there — node-vertex reverse
+	// distances are knowledge weights, which persist), so the next warm
+	// reverse run re-derives the whole band (DESIGN.md §13).
+	revScratch    *graph.Scratch
+	revCacheDst   int
+	revCacheValid bool
+	revSeeds      []int
+	revQuerySeeds []int
+	revAdmitted   []int
+	revRetired    bool
+	// roverlay mirrors overlay transposed — the agent's E'' edges keyed by
+	// their head (sender) vertex — feeding graph.Restriction.ROverlay; bfrom
+	// holds the handle's per-band boundary vertex for
+	// graph.Restriction.BoundaryFrom. Like the reverse scratch, the mirror is
+	// lazy: revEnabled is set by the first reverse query, which transposes the
+	// overlay accumulated so far; until then sync skips all reverse
+	// bookkeeping, so handles that never see the Early shape pay nothing.
+	revEnabled bool
+	roverlay   [][]graph.Edge
+	bfrom      []int32
+
+	// stats counts this handle's reverse-cache activity for per-cell
+	// attribution (the engine's atomic counters aggregate across every
+	// concurrent handle of a network, so they cannot be read per agent).
+	stats HandleStats
+
 	// Per-query chain-vertex state, rolled back after each query.
 	chainKeys []chainKey
 	chainIDs  []int
 	undo      []chainUndo
 }
+
+// HandleStats counts one handle's (or one Online engine's) reverse-cache
+// activity: warm reverse restarts, full reverse rebuilds, aux-band refreshes
+// and the SPFA relaxations spent on the reverse side. The engine-level
+// EngineStats aggregates the same counters across all handles.
+type HandleStats struct {
+	RevHits        int64
+	RevRebuilds    int64
+	BandRefreshes  int64
+	RevRelaxations int64
+}
+
+// Add accumulates other into st.
+func (st *HandleStats) Add(other HandleStats) {
+	st.RevHits += other.RevHits
+	st.RevRebuilds += other.RevRebuilds
+	st.BandRefreshes += other.BandRefreshes
+	st.RevRelaxations += other.RevRelaxations
+}
+
+// Stats returns the handle's cumulative reverse-cache counters. Unlike the
+// scratch, they survive Release, so post-run harvesting works on released
+// handles.
+func (h *Handle) Stats() HandleStats { return h.stats }
 
 // NewHandle subscribes a growing view to the engine. The handle starts
 // empty and absorbs the view's current content on the first query; it must
@@ -269,18 +329,21 @@ func (s *Shared) NewHandle(view *run.View) *Handle {
 		visCap = standing
 	}
 	h := &Handle{
-		shared:   s,
-		view:     view,
-		members:  make([]int, s.n),
-		prev:     make([]int, s.n),
-		limit:    make([]int32, s.n),
-		overlay:  make([][]graph.Edge, s.n),
-		vis:      make([]bool, s.n, visCap),
-		cacheSrc: -1,
+		shared:      s,
+		view:        view,
+		members:     make([]int, s.n),
+		prev:        make([]int, s.n),
+		limit:       make([]int32, s.n),
+		overlay:     make([][]graph.Edge, s.n),
+		bfrom:       make([]int32, s.n),
+		vis:         make([]bool, s.n, visCap),
+		cacheSrc:    -1,
+		revCacheDst: -1,
 	}
 	for i := range h.members {
 		h.members[i] = -1
 		h.limit[i] = -1
+		h.bfrom[i] = -1
 		h.vis[i] = true // the aux band is visible to every handle
 	}
 	h.scratch = s.eng.leaseScratch()
@@ -301,6 +364,11 @@ func (h *Handle) Release() {
 		h.scratch = nil
 	}
 	h.cacheValid = false
+	if h.revScratch != nil {
+		h.shared.eng.releaseScratch(h.revScratch)
+		h.revScratch = nil
+	}
+	h.revCacheValid = false
 }
 
 // vertex returns the standing vertex id of a node known to be absorbed.
@@ -355,8 +423,21 @@ func (h *Handle) sync() error {
 			if k > 0 {
 				h.seeds = append(h.seeds, int(s.vertexOf[p-1][k-1]))
 			}
+			if h.revCacheValid {
+				// Reverse seeds are edge HEADS: the new vertex heads its
+				// predecessor's successor edge (and its own sends' E''
+				// entries).
+				h.revAdmitted = append(h.revAdmitted, int(s.vertexOf[p-1][k]))
+				h.revSeeds = append(h.revSeeds, int(s.vertexOf[p-1][k]))
+			}
 		}
 		h.seeds = append(h.seeds, int(s.vertexOf[p-1][cur]))
+		if h.revCacheValid {
+			// The moved virtual boundary edge: its tail is the new boundary
+			// vertex (forward seed above), its head the band's psi anchor.
+			h.revSeeds = append(h.revSeeds, int(p)-1)
+		}
+		h.bfrom[p-1] = s.vertexOf[p-1][cur]
 		first := old + 1
 		if first < 1 {
 			first = 1
@@ -365,9 +446,13 @@ func (h *Handle) sync() error {
 			from := run.BasicNode{Proc: p, Index: k}
 			for _, a := range net.OutArcs(p) {
 				if _, ok := h.view.DeliveryTo(from, a.To); !ok {
+					sender := int(s.vertexOf[p-1][k])
 					h.overlay[a.To-1] = append(h.overlay[a.To-1], graph.Edge{
-						To: int(s.vertexOf[p-1][k]), Weight: -a.Bounds.Upper,
+						To: sender, Weight: -a.Bounds.Upper,
 					})
+					if h.revEnabled {
+						h.addROverlay(sender, int(a.To)-1, -a.Bounds.Upper)
+					}
 					h.seeds = append(h.seeds, int(a.To)-1)
 				}
 			}
@@ -405,10 +490,22 @@ func (h *Handle) sync() error {
 		v := h.vertex(d.To)
 		s.absorbDelivery(u, v, d.Chan, bd)
 		h.seeds = append(h.seeds, u, v)
+		if h.revCacheValid {
+			h.revSeeds = append(h.revSeeds, u, v)
+		}
 		if d.From.Index <= h.prev[d.From.Proc-1] {
 			if !removeOverlayEdge(&h.overlay[d.To.Proc-1], u, -bd.Upper) {
 				return fmt.Errorf("bounds: shared handle lost the E'' edge of %s->%d", d.From, d.To.Proc)
 			}
+			if h.revEnabled {
+				if u >= len(h.roverlay) || !removeOverlayEdge(&h.roverlay[u], int(d.To.Proc)-1, -bd.Upper) {
+					return fmt.Errorf("bounds: shared handle lost the reverse E'' edge of %s->%d", d.From, d.To.Proc)
+				}
+			}
+			// Retirement can lower reverse distances on the aux band; the
+			// next warm reverse run must re-derive it before trusting the
+			// cache.
+			h.revRetired = h.revRetired || h.revCacheValid
 		}
 		h.logMark++
 	}
@@ -417,6 +514,27 @@ func (h *Handle) sync() error {
 		h.admitted = h.admitted[:0]
 	}
 	return nil
+}
+
+// addROverlay appends one transposed E” entry (head sender -> psi band
+// vertex q) to the reverse overlay, growing the outer table on demand.
+func (h *Handle) addROverlay(sender, q, w int) {
+	for len(h.roverlay) <= sender {
+		h.roverlay = append(h.roverlay, nil)
+	}
+	h.roverlay[sender] = append(h.roverlay[sender], graph.Edge{To: q, Weight: w})
+}
+
+// enableReverse begins reverse bookkeeping on first use: the forward overlay
+// accumulated so far is transposed into roverlay, and from now on sync keeps
+// the mirror in step.
+func (h *Handle) enableReverse() {
+	h.revEnabled = true
+	for q := range h.overlay {
+		for _, e := range h.overlay[q] {
+			h.addROverlay(e.To, q, e.Weight)
+		}
+	}
 }
 
 // removeOverlayEdge swap-deletes one overlay entry; order is irrelevant
@@ -509,6 +627,9 @@ func (h *Handle) rollback(base int) {
 	h.chainKeys = h.chainKeys[:0]
 	h.chainIDs = h.chainIDs[:0]
 	h.scratch.Truncate(base)
+	if h.revScratch != nil {
+		h.revScratch.Truncate(base)
+	}
 }
 
 // KnowledgeWeight computes kw = max{ x : K_sigma(theta1 --x--> theta2) } at
@@ -541,24 +662,94 @@ func (h *Handle) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 	r := graph.Restriction{
 		Visible: h.vis,
 		Band:    s.band, Idx: s.idx, Limit: h.limit,
-		Overlay:    h.overlay,
+		Overlay: h.overlay, ROverlay: h.roverlay,
 		BoundaryTo: s.eng.boundaryTo, BoundaryWeight: 1,
+		BoundaryFrom: h.bfrom,
 	}
 	// The chain edges materialized above relax into the standing distances
-	// without disturbing them (their only exit edge is dominated, exactly
-	// as in bounds.Online), so a cached run from the same source only needs
-	// the accumulated delta seeds.
+	// without disturbing them, forward and reverse alike (their exit edges
+	// are dominated, exactly as in bounds.Online), so a cached run keyed on
+	// the same endpoint only needs the accumulated delta seeds.
+	//
+	// Which cache serves is decided by the query's shape. A source matching
+	// the forward cache relaxes forward warm — the Late-kind steady state.
+	// Otherwise a standing target routes through the reverse cache (warm
+	// when the target matches, full reverse rebuild when not): the miss
+	// means the source moved, which is exactly the Early-kind shape whose
+	// next states will keep the target fixed. A cold engine (neither cache
+	// valid) or a speculative chain-vertex target relaxes forward full,
+	// establishing the forward cache — so a Late-kind agent's very first
+	// query never detours through the reverse side.
 	var dist []int64
-	if h.cacheValid && u == h.cacheSrc {
+	var answer int64
+	switch {
+	case h.cacheValid && u == h.cacheSrc:
 		h.querySeeds = append(h.querySeeds[:0], h.seeds...)
 		for i := range h.undo {
 			h.querySeeds = append(h.querySeeds, h.undo[i].parent, h.undo[i].aux)
 		}
 		dist, err = s.g.RelaxRestrictedFrom(h.scratch, h.querySeeds, h.admitted, &r)
-	} else {
+		if err == nil {
+			answer = dist[v]
+		}
+	case v < base && (h.cacheValid || h.revCacheValid):
+		if h.revScratch == nil {
+			h.revScratch = s.eng.leaseScratch()
+		}
+		if !h.revEnabled {
+			h.enableReverse()
+			r.ROverlay = h.roverlay
+		}
+		if h.revCacheValid && v == h.revCacheDst {
+			h.revQuerySeeds = append(h.revQuerySeeds[:0], h.revSeeds...)
+			for i := range h.undo {
+				h.revQuerySeeds = append(h.revQuerySeeds, h.undo[i].parent)
+			}
+			var refresh []int
+			if h.revRetired {
+				refresh = s.eng.auxRefresh
+				h.stats.BandRefreshes++
+				s.eng.stats.bandRefreshes.Add(1)
+			}
+			dist, err = s.g.RelaxReverseRestrictedFrom(h.revScratch, h.revQuerySeeds, h.revAdmitted, refresh, &r)
+			h.stats.RevHits++
+			s.eng.stats.revHits.Add(1)
+		} else {
+			dist, err = s.g.LongestIntoRestricted(h.revScratch, v, &r)
+			h.revCacheDst = v
+			h.revCacheValid = true
+			h.stats.RevRebuilds++
+			s.eng.stats.revRebuilds.Add(1)
+		}
+		if h.revScratch.Relaxations != 0 {
+			h.stats.RevRelaxations += h.revScratch.Relaxations
+			s.eng.stats.revRelaxations.Add(h.revScratch.Relaxations)
+			h.revScratch.Relaxations = 0
+		}
+		if err != nil {
+			h.revCacheValid = false
+			h.rollback(base)
+			return 0, false, fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
+		}
+		// The reverse scratch holds this handle's into-target fixpoint over
+		// every visible edge, so the reverse delta restarts empty.
+		h.revSeeds = h.revSeeds[:0]
+		h.revAdmitted = h.revAdmitted[:0]
+		h.revRetired = false
+		answer = dist[u]
+		w, reachable := int(answer), answer != graph.NegInf
+		h.rollback(base)
+		if !reachable {
+			return 0, false, nil
+		}
+		return w, true, nil
+	default:
 		dist, err = s.g.LongestRestricted(h.scratch, u, &r)
 		h.cacheSrc = u
 		h.cacheValid = u < base
+		if err == nil {
+			answer = dist[v]
+		}
 	}
 	if h.scratch.Relaxations != 0 {
 		s.eng.stats.relaxations.Add(h.scratch.Relaxations)
@@ -573,7 +764,7 @@ func (h *Handle) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 	// visible edge, so the delta restarts empty.
 	h.seeds = h.seeds[:0]
 	h.admitted = h.admitted[:0]
-	w, reachable := int(dist[v]), dist[v] != graph.NegInf
+	w, reachable := int(answer), answer != graph.NegInf
 	h.rollback(base)
 	if !reachable {
 		return 0, false, nil

@@ -319,6 +319,69 @@ func (g *Graph) RelaxFrom(s *Scratch, seeds []int) ([]int64, error) {
 	return dist, spfa(g.adj, s, count)
 }
 
+// RelaxReverseFrom resumes a reverse longest-path computation after
+// monotone growth of the graph: s must hold the distances of a prior
+// LongestInto/LongestIntoWith run toward the same destination. Adding a
+// vertex or an edge never lowers any distance INTO the destination, so the
+// prior fixpoint is a valid starting point. Reverse relaxation propagates
+// head -> tail, so seeds must list the HEADS of every edge added since the
+// prior run. Edge removal can lower a reverse distance, which a max-only
+// restart would never discover: refresh must list every vertex whose
+// distance toward the destination may have DECREASED since the prior run
+// (see RelaxReverseRestrictedFrom for the re-derivation mechanics); refresh
+// must not contain the destination itself. The returned slice aliases s, as
+// with LongestIntoWith.
+func (g *Graph) RelaxReverseFrom(s *Scratch, seeds, refresh []int) ([]int64, error) {
+	n := len(g.adj)
+	if s.n == 0 {
+		return nil, errors.New("graph: RelaxReverseFrom without a prior computation")
+	}
+	if s.n > n {
+		return nil, fmt.Errorf("graph: RelaxReverseFrom after shrink: %d vertices, scratch covers %d", n, s.n)
+	}
+	old := s.n
+	s.ensure(n)
+	dist := s.dist
+	for i := old; i < n; i++ {
+		dist[i] = NegInf
+	}
+	for _, v := range refresh {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: refresh vertex %d outside 0..%d", v, n-1)
+		}
+		dist[v] = NegInf
+	}
+	for i := range s.inQueue {
+		s.inQueue[i] = false
+		s.pathLen[i] = 0
+	}
+	count := 0
+	for _, v := range seeds {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: seed %d outside 0..%d", v, n-1)
+		}
+		if !s.inQueue[v] && dist[v] != NegInf {
+			s.queue[count] = v
+			count++
+			s.inQueue[v] = true
+		}
+	}
+	// Re-deriving a refresh vertex means re-popping the heads of its
+	// surviving out-edges; heads that are themselves refresh-reset re-enter
+	// the queue once a neighbor with a valid distance improves them.
+	for _, v := range refresh {
+		for _, e := range g.adj[v] {
+			if h := e.To; !s.inQueue[h] && dist[h] != NegInf {
+				s.queue[count] = h
+				count++
+				s.inQueue[h] = true
+			}
+		}
+	}
+	s.n = n
+	return dist, spfa(g.radj, s, count)
+}
+
 // spfa drains the ring queue holding count seeded vertices. The queue holds
 // at most one entry per vertex (inQueue guards every push), so the ring
 // never overtakes its head; dequeues are O(1) index moves and the backing

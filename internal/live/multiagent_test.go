@@ -92,6 +92,65 @@ func TestProtocol2SharedMultiAgentMatchesOffline(t *testing.T) {
 	}
 }
 
+// TestProtocol2EarlyMultiAgentMatchesOffline runs the all-Early family —
+// every agent's Protocol 2 loop asks KW(sigma, aNode) with a moving
+// source and a fixed target, the shape the per-target reverse cache
+// serves — through the live environment on both engine selections, up to
+// coord-early-m16. Shared and Online must record identical runs, act
+// identically, agree with the offline optimum for every task, and the
+// shared engine's handles must actually have answered from the reverse
+// cache (otherwise this differential would silently pin the forward
+// path twice).
+func TestProtocol2EarlyMultiAgentMatchesOffline(t *testing.T) {
+	for _, m := range []int{2, 4, 16} {
+		sc := scenario.MultiAgentEarly(m)
+		seed := int64(29 + m)
+		shared := bounds.NewShared(sc.Net)
+		sharedRes, sharedAgents := runMultiAgent(t, sc, shared, seed)
+		onlineRes, _ := runMultiAgent(t, sc, nil, seed)
+
+		requireIdenticalRuns(t, fmt.Sprintf("%s engines", sc.Name), sharedRes.Run, onlineRes.Run)
+		sharedActs, onlineActs := actionsOf(sharedRes), actionsOf(onlineRes)
+		if len(sharedActs) != len(onlineActs) {
+			t.Fatalf("%s: %d shared actions vs %d online", sc.Name, len(sharedActs), len(onlineActs))
+		}
+		for label, act := range onlineActs {
+			got, ok := sharedActs[label]
+			if !ok || got != act {
+				t.Fatalf("%s: action %q: shared %+v online %+v", sc.Name, label, got, act)
+			}
+		}
+
+		var rev bounds.HandleStats
+		for i := range sc.Tasks {
+			rev.Add(sharedAgents[i].HandleStats())
+			// The offline RunOptimal rebuilds an extended graph per state and
+			// dominates the test's budget at m=16; the engine-vs-engine run
+			// and act identity above already covers every agent, so sampling
+			// the offline anchor at the family's largest member suffices.
+			if m > 4 && i != 0 && i != len(sc.Tasks)/2 && i != len(sc.Tasks)-1 {
+				continue
+			}
+			offline, err := sc.Tasks[i].RunOptimal(sharedRes.Run)
+			if err != nil {
+				t.Fatalf("%s task %d offline: %v", sc.Name, i, err)
+			}
+			label := TaskLabel(i)
+			act, acted := sharedActs[label]
+			if offline.Acted != acted {
+				t.Fatalf("%s task %d: offline acted=%v shared acted=%v", sc.Name, i, offline.Acted, acted)
+			}
+			if offline.Acted && (act.Node != offline.ActNode || act.Time != offline.ActTime) {
+				t.Fatalf("%s task %d: shared %s@%d vs offline %s@%d",
+					sc.Name, i, act.Node, act.Time, offline.ActNode, offline.ActTime)
+			}
+		}
+		if rev.RevHits == 0 {
+			t.Fatalf("%s: no Early agent answered from the reverse cache: %+v", sc.Name, rev)
+		}
+	}
+}
+
 // TestNetworkEngineConcurrentLiveRuns drives several live executions of one
 // network CONCURRENTLY off a single bounds.NetworkEngine (the configuration
 // a parallel sweep produces): each run clones the engine's aux prototype

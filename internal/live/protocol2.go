@@ -79,6 +79,20 @@ func (p *Protocol2) UseShared(s *bounds.Shared) {
 // queries are total on well-formed views, so this is nil in practice).
 func (p *Protocol2) Err() error { return p.err }
 
+// HandleStats returns the agent's reverse-cache counters, whichever engine
+// served it (zero for the rebuild baseline). The counters survive the
+// handle's Release, so post-run harvesting — sweep cells, the CLI footer —
+// works after the agent acted.
+func (p *Protocol2) HandleStats() bounds.HandleStats {
+	if p.handle != nil {
+		return p.handle.Stats()
+	}
+	if p.engine != nil {
+		return p.engine.Stats()
+	}
+	return bounds.HandleStats{}
+}
+
 // OnState implements Agent.
 func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 	if p.acted || p.err != nil {

@@ -92,3 +92,30 @@ func MultiAgentFamily() []*Scenario {
 	}
 	return out
 }
+
+// MultiAgentEarly builds the coord-early-m<m> scenario: the same topology
+// and run as MultiAgent(m), but every coordination task is Early-kind, so
+// all m agents query with a moving source against a fixed target — the
+// inverted shape served by the engines' reverse caches. The mixed coord-m
+// family keeps both directions in one run; this family isolates the Early
+// steady state for benchmarks and differential tests.
+func MultiAgentEarly(m int) *Scenario {
+	sc := MultiAgent(m)
+	sc.Name = fmt.Sprintf("coord-early-m%d", m)
+	sc.Description = fmt.Sprintf(
+		"multi-agent coordination, all Early-kind: %d concurrent Protocol2 agents (n=%d, %d channels) on one run",
+		m, sc.Net.N(), sc.Net.NumChannels())
+	for i := range sc.Tasks {
+		sc.Tasks[i].Kind = coord.Early
+	}
+	return sc
+}
+
+// MultiAgentEarlyFamily returns the full coord-early-m{2,4,8,16} family.
+func MultiAgentEarlyFamily() []*Scenario {
+	out := make([]*Scenario, 0, len(MultiAgentSizes))
+	for _, m := range MultiAgentSizes {
+		out = append(out, MultiAgentEarly(m))
+	}
+	return out
+}

@@ -23,6 +23,7 @@ var csvHeader = []string{
 	"gap_mean", "gap_min", "gap_p50", "gap_p90", "gap_max", "gap_stddev",
 	"agents", "agents_acted",
 	"prefix_hits", "prefix_misses",
+	"rev_hits", "rev_rebuilds", "band_refreshes", "rev_relaxations",
 }
 
 // WriteCSV renders aggregates as CSV in the given order, one row per
@@ -46,6 +47,8 @@ func WriteCSV(w io.Writer, aggs []Aggregate) error {
 			"", "", "", "", "", "",
 			strconv.Itoa(a.AgentRuns), strconv.Itoa(a.AgentsActed),
 			strconv.Itoa(a.PrefixHits), strconv.Itoa(a.PrefixMisses),
+			strconv.FormatInt(a.Rev.RevHits, 10), strconv.FormatInt(a.Rev.RevRebuilds, 10),
+			strconv.FormatInt(a.Rev.BandRefreshes, 10), strconv.FormatInt(a.Rev.RevRelaxations, 10),
 		}
 		if a.Acted > 0 {
 			row[17] = f(a.Gap.Mean)

@@ -121,6 +121,12 @@ type Result struct {
 	// froze) the standing graph itself. Empty for sim cells and
 	// seed-sensitive policies, which bypass the cache.
 	Prefix string
+
+	// Rev sums the reverse-cache counters of the cell's agents (zero for sim
+	// cells and for live cells whose agents never hit the Early query shape):
+	// warm reverse restarts, full reverse rebuilds, aux-band refreshes and
+	// reverse SPFA relaxations.
+	Rev bounds.HandleStats
 }
 
 // Result.Prefix values.
@@ -249,6 +255,10 @@ func (g Grid) RunWithEngines() ([]Result, EngineReport, error) {
 		rep.Stats.PrefixEvictions += st.PrefixEvictions
 		rep.Stats.CloneBytes += st.CloneBytes
 		rep.Stats.Relaxations += st.Relaxations
+		rep.Stats.RevHits += st.RevHits
+		rep.Stats.RevRebuilds += st.RevRebuilds
+		rep.Stats.BandRefreshes += st.BandRefreshes
+		rep.Stats.RevRelaxations += st.RevRelaxations
 	}
 	return results, rep, nil
 }
@@ -376,6 +386,7 @@ func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, eng *bounds.Ne
 			res.Err = fmt.Errorf("agent %s: %w", live.TaskLabel(i), aerr)
 			return res
 		}
+		res.Rev.Add(agents[i].HandleStats())
 	}
 	res.Nodes = out.Run.NumNodes()
 	res.Deliveries = len(out.Run.Deliveries())
@@ -414,6 +425,9 @@ type Aggregate struct {
 	// cells (both zero when the group bypasses the cache).
 	PrefixHits   int
 	PrefixMisses int
+
+	// Rev sums the reverse-cache counters over the group's live cells.
+	Rev bounds.HandleStats
 }
 
 // Summarize groups results by (scenario, policy, mode) in first-appearance
@@ -456,6 +470,7 @@ func Summarize(results []Result) []Aggregate {
 		case PrefixMiss:
 			a.PrefixMisses++
 		}
+		a.Rev.Add(res.Rev)
 	}
 	for i := range aggs {
 		s := samples[key{aggs[i].Scenario, aggs[i].Policy, aggs[i].Mode}]
@@ -471,11 +486,13 @@ func Summarize(results []Result) []Aggregate {
 // reads acted/posed: task cells over task runs for sim rows, agents acted
 // over agents hosted for live rows. The prefix column reads hits/routed
 // over the group's standing-prefix cache traffic ("-" when the group
-// bypasses the cache).
+// bypasses the cache); the rev column reads warm-hits/reverse-queries over
+// the group's reverse-cache traffic ("-" when no agent hit the Early
+// shape).
 func Table(aggs []Aggregate) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix")
+	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix\trev")
 	for _, a := range aggs {
 		acted := "-"
 		gapMean := "-"
@@ -494,13 +511,17 @@ func Table(aggs []Aggregate) string {
 		if cached := a.PrefixHits + a.PrefixMisses; cached > 0 {
 			prefix = fmt.Sprintf("%d/%d", a.PrefixHits, cached)
 		}
+		rev := "-"
+		if q := a.Rev.RevHits + a.Rev.RevRebuilds; q > 0 {
+			rev = fmt.Sprintf("%d/%d", a.Rev.RevHits, q)
+		}
 		mode := a.Mode
 		if mode == "" {
 			mode = ModeSim
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\t%s\n",
 			a.Scenario, mode, a.Policy, a.Runs, a.Errors, a.Nodes.Mean, a.Deliveries.Mean,
-			acted, gapMean, gapRange, prefix)
+			acted, gapMean, gapRange, prefix, rev)
 	}
 	tw.Flush()
 	return b.String()
