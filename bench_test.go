@@ -502,6 +502,31 @@ func BenchmarkSweepPrefixShared(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepReplayLive (B1): one COMPLETE live sweep cell per op —
+// policy-driven environment, FFIP flooding, view maintenance and every
+// Protocol2 decision — under the goroutine-free replay mode that
+// full-registry live sweeps now default to: the event stream is recorded
+// once and every agent is driven state by state in a single goroutine, no
+// channels, no per-tick handshakes. Acceptance: strictly fewer allocs/op
+// and lower ns/op than BenchmarkSweepGoroutineLive at every m.
+func BenchmarkSweepReplayLive(b *testing.B) {
+	for _, m := range scenario.MultiAgentSizes {
+		c := bench.SweepReplayLive(m)
+		b.Run(fmt.Sprintf("m=%d", m), c.Run)
+	}
+}
+
+// BenchmarkSweepGoroutineLive is the goroutine-per-process baseline
+// recorded alongside BenchmarkSweepReplayLive: the identical cell through
+// the channel-synchronized environment, kept as the replay mode's
+// differential oracle.
+func BenchmarkSweepGoroutineLive(b *testing.B) {
+	for _, m := range scenario.MultiAgentSizes {
+		c := bench.SweepGoroutineLive(m)
+		b.Run(fmt.Sprintf("m=%d", m), c.Run)
+	}
+}
+
 // BenchmarkSweepRebuildNetwork is the rebuild-per-cell baseline recorded
 // alongside BenchmarkSweepSharedNetwork: identical cells, each re-deriving
 // the aux band, hint tables and scratch buffers from scratch — what every

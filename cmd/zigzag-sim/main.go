@@ -7,12 +7,14 @@
 //
 // Usage:
 //
-//	zigzag-sim [-scenario name] [-policy eager|lazy|random] [-seed n]
+//	zigzag-sim [-scenario name] [-policy eager|lazy|random|heavy] [-seed n]
 //	           [-x n] [-coord-m m] [-timeline n] [-list] [-dump file]
 //	           [-engine offline|rebuild|online|shared] [-kind late|early|mixed]
+//	           [-cpuprofile file] [-memprofile file]
 //	zigzag-sim -sweep [-seeds n] [-workers n] [-x n] [-coord-m m] [-live]
-//	           [-format table|csv|json]
+//	           [-live-mode replay|goroutine] [-format table|csv|json]
 //	           [-sweep-x 0,2,4] [-sweep-scale 1,1.5,2] [-sweep-rand 8:12:1,12:20:2]
+//	           [-cpuprofile file] [-memprofile file]
 //
 // -engine picks the Protocol2 knowledge engine for a single-scenario run:
 // the default "offline" keeps the recorded-run analysis, while rebuild,
@@ -24,15 +26,24 @@
 // end. -coord-m raises the registry's multi-agent family
 // ceiling (coord-m8/coord-m16 enter at 8/16). With -sweep, -live adds the
 // registry's multi-agent scenarios as live grid cells driven through ONE
-// shared knowledge engine per network; the other -sweep-* flags add grid
+// shared knowledge engine per network; -live-mode picks their execution
+// engine — "replay" (the goroutine-free single-threaded drive, the default)
+// additionally opens the replay-only coord-heavy-m family (long-horizon
+// heavy-tail runs), while "goroutine" keeps the goroutine-per-process
+// environment as the differential oracle. The other -sweep-* flags add grid
 // axes beyond the registry: task-separation overrides, channel-bound
 // scaling factors and extra random-topology shapes (procs:extra:seed).
+// -cpuprofile/-memprofile write pprof profiles of whatever the invocation
+// ran, so the hot-path claims in DESIGN.md are reproducible with
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -50,7 +61,7 @@ import (
 func main() {
 	var (
 		name     = flag.String("scenario", "figure2b", "scenario to run")
-		policy   = flag.String("policy", "lazy", "delivery policy: eager, lazy or random")
+		policy   = flag.String("policy", "lazy", "delivery policy: eager, lazy, random or heavy (heavy-tailed)")
 		seed     = flag.Int64("seed", 1, "seed for the random policy")
 		x        = flag.Int("x", 0, "override the task's required separation (0 keeps the default)")
 		coordM   = flag.Int("coord-m", scenario.DefaultCoordM, "multi-agent family ceiling: include coord-m scenarios up to this many agents")
@@ -64,6 +75,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 		format   = flag.String("format", "table", "sweep output format: table, csv or json")
 		doLive   = flag.Bool("live", false, "with -sweep: add the multi-agent scenarios as live grid cells (Protocol2 agents on one shared engine per network)")
+		liveMode = flag.String("live-mode", "replay", "with -sweep -live: live cell execution — replay (goroutine-free, opens the coord-heavy-m family) or goroutine (the differential oracle)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 		sweepX   = flag.String("sweep-x", "", "comma-separated task-separation overrides as a sweep axis (e.g. 0,2,4; overrides -x for the sweep)")
 		sweepSc  = flag.String("sweep-scale", "", "comma-separated channel-bound scaling factors as a sweep axis (e.g. 1,1.5,2)")
 		sweepRnd = flag.String("sweep-rand", "", "extra random topologies as procs:extra:seed triples, comma-separated (e.g. 8:12:1,12:20:2)")
@@ -84,26 +98,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-live needs -sweep (single scenarios run live via -engine)")
 		os.Exit(2)
 	}
+	// Profiling wraps everything that does real work; exit replaces os.Exit
+	// below so error paths still flush the profiles.
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 	if *doSweep {
 		if !sweep.ValidFormat(*format) {
 			fmt.Fprintf(os.Stderr, "unknown output format %q (want table, csv or json)\n", *format)
-			os.Exit(2)
+			exit(2)
+		}
+		if *liveMode != "replay" && *liveMode != "goroutine" {
+			fmt.Fprintf(os.Stderr, "unknown live mode %q (want replay or goroutine)\n", *liveMode)
+			exit(2)
 		}
 		axes, err := parseAxes(*x, *coordM, *sweepX, *sweepSc, *sweepRnd)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			exit(2)
 		}
-		if err := runSweep(axes, *seeds, *workers, *format, *doLive); err != nil {
+		if err := runSweep(axes, *seeds, *workers, *format, *doLive, *liveMode); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
 	sc, ok := all[*name]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q (use -list)\n", *name)
-		os.Exit(2)
+		exit(2)
 	}
 	var pol sim.Policy
 	switch *policy {
@@ -113,14 +143,16 @@ func main() {
 		pol = sim.Lazy{}
 	case "random":
 		pol = sim.NewRandom(*seed)
+	case "heavy":
+		pol = sim.NewHeavyTail(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(2)
+		exit(2)
 	}
 	if *engine != "offline" {
 		if err := runLiveScenario(sc, pol, *engine, *kind, *timeline, *dump); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -128,21 +160,21 @@ func main() {
 	r, err := sc.Simulate(pol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := trace.WriteRun(f, r); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("run written to %s\n", *dump)
 	}
@@ -161,7 +193,7 @@ func main() {
 	out, err := sc.Task.RunOptimal(r)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	if !out.Acted {
 		fmt.Println("Protocol 2: B cannot act — the required bound is not knowable on this network.")
@@ -173,7 +205,7 @@ func main() {
 	fmt.Print(viz.Zigzag(r.Net(), &out.Witness.Zigzag))
 	if err := out.Witness.VerifyVisible(r); err != nil {
 		fmt.Fprintf(os.Stderr, "witness verification failed: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Println("witness verified ✔")
 
@@ -192,6 +224,44 @@ func main() {
 			fmt.Println("asynchronous baseline: never acts on this network")
 		}
 	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap profile at stop,
+// per the -cpuprofile/-memprofile flags (empty means off). The returned stop
+// function must run before the process exits for either file to be complete;
+// it is safe to call more than once only via the exit wrapper in main (the
+// process is gone before a second call could happen).
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // runLiveScenario executes a single scenario through the live environment
@@ -344,10 +414,13 @@ func parseAxes(x, coordM int, xsFlag, scalesFlag, randFlag string) (sweep.Axes, 
 // runSweep expands the axes into the scenario × policy × seed grid —
 // optionally adding the multi-agent scenarios as live cells driven through
 // one knowledge engine per network — and prints the aggregates in
-// deterministic order, in the requested format. The banner is only printed
-// for the human-readable table so that csv/json output can be piped
+// deterministic order, in the requested format. liveMode picks the live
+// cells' execution engine: "replay" (default) runs them goroutine-free and
+// additionally opens the replay-only long-horizon heavy-tail family;
+// "goroutine" keeps the goroutine-per-process oracle. The banner is only
+// printed for the human-readable table so that csv/json output can be piped
 // straight into figure scripts.
-func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool) error {
+func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, liveMode string) error {
 	if seeds < 1 {
 		return fmt.Errorf("sweep needs at least one seed, got %d", seeds)
 	}
@@ -361,6 +434,14 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool) e
 		Seeds:     make([]int64, seeds),
 		Workers:   workers,
 	}
+	switch liveMode {
+	case "replay":
+		grid.LiveMode = sweep.ModeReplay
+	case "goroutine":
+		grid.LiveMode = sweep.ModeLive
+	default:
+		return fmt.Errorf("unknown live mode %q (want replay or goroutine)", liveMode)
+	}
 	if doLive {
 		// The multi-agent scenarios (the only ones carrying concurrent
 		// Tasks) form the live dimension: every policy and seed of one
@@ -372,6 +453,11 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool) e
 		}
 		if len(grid.Live) == 0 {
 			return fmt.Errorf("sweep: -live found no multi-agent scenarios in the grid")
+		}
+		if grid.LiveMode == sweep.ModeReplay {
+			// Replay headroom opens the replay-only family: long-horizon
+			// heavy-tail coordination the goroutine mode can't afford.
+			grid.Live = append(grid.Live, scenario.ReplayFamily()...)
 		}
 	}
 	for i := range grid.Seeds {
@@ -395,6 +481,10 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool) e
 			st.CloneBytes, st.Relaxations)
 		fmt.Printf("reverse cache: %d warm hit(s) / %d rebuild(s), %d band refresh(es), %d reverse relaxations\n",
 			st.RevHits, st.RevRebuilds, st.BandRefreshes, st.RevRelaxations)
+		if st.ReplayBatches > 0 {
+			fmt.Printf("replay: %d batch(es) driven through %d streamed chunk(s), goroutine-free\n",
+				st.ReplayBatches, st.ReplayChunks)
+		}
 	}
 	failed := 0
 	for _, res := range results {

@@ -411,6 +411,58 @@ func sweepSeeded(m, seeds int, name string, prefix bool) Case {
 	}
 }
 
+// sweepLive measures one COMPLETE live sweep cell end to end — the
+// policy-driven environment, FFIP flooding, every process's view
+// maintenance and every Protocol2 decision — through the selected execution
+// engine: the goroutine-free replay drive (recorded batches, no channels)
+// or the goroutine-per-process environment it replaces as the sweep
+// default. The NetworkEngine is built outside the timer, as sweep.Grid
+// amortizes it across a block; each iteration is one full cell under a
+// fresh seeded random policy, so the pair prices exactly what the sweep's
+// live grid dimension pays per cell.
+func sweepLive(m int, name string, replay bool) Case {
+	return Case{
+		Name: fmt.Sprintf("%s/m=%d", name, m),
+		Run: func(b *testing.B) {
+			sc := scenario.MultiAgent(m)
+			eng := bounds.NewNetworkEngine(sc.Net)
+			exec := live.Run
+			if replay {
+				exec = live.Replay
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agents, agentMap := live.NewTaskAgents(sc.TaskList())
+				res, err := exec(live.Config{
+					Net: sc.Net, Horizon: sc.Horizon, Policy: sim.NewRandom(int64(i)),
+					Externals: sc.Externals, Agents: agentMap, Engine: eng,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range agents {
+					if err := agents[j].Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if res.Run.NumNodes() == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		},
+	}
+}
+
+// SweepReplayLive is one goroutine-free replay live cell per op: the
+// execution mode full-registry live sweeps run under by default.
+func SweepReplayLive(m int) Case { return sweepLive(m, "SweepReplayLive", true) }
+
+// SweepGoroutineLive is the goroutine-per-process cell recorded alongside
+// SweepReplayLive: the identical workload through the channel-synchronized
+// environment, kept as the replay mode's differential oracle.
+func SweepGoroutineLive(m int) Case { return sweepLive(m, "SweepGoroutineLive", false) }
+
 // SweepSharedNetwork is the cross-run amortization benchmark: a block of
 // live-style multi-agent sweep cells all served by one per-network
 // knowledge engine.
@@ -601,6 +653,13 @@ func ExportCases() []Case {
 	for _, seeds := range []int{4, 16, 64} {
 		cases = append(cases, SweepSharedNetworkSeeds(4, seeds))
 		cases = append(cases, SweepPrefixShared(4, seeds))
+	}
+	// The live-cell execution pair is interleaved per m — oracle then
+	// replay back to back — so each comparison's two cells run under the
+	// same heap and machine conditions.
+	for _, m := range scenario.MultiAgentSizes {
+		cases = append(cases, SweepGoroutineLive(m))
+		cases = append(cases, SweepReplayLive(m))
 	}
 	return cases
 }

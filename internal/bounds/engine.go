@@ -130,6 +130,14 @@ func (e *NetworkEngine) Prefixes() *PrefixEngine { return e.prefixes }
 // Stats returns a snapshot of the engine's cumulative work counters.
 func (e *NetworkEngine) Stats() EngineStats { return e.stats.snapshot() }
 
+// NoteReplay credits a completed goroutine-free replay execution to the
+// engine's counters: batches receive batches driven through streamed chunk
+// buffers (live.Replay reports them once per execution).
+func (e *NetworkEngine) NoteReplay(batches, chunks int64) {
+	e.stats.replayBatches.Add(batches)
+	e.stats.replayChunks.Add(chunks)
+}
+
 // NewRun stamps out the run-lifetime tier: a Shared engine whose standing
 // graph starts as a clone of the aux prototype, above which the run's node
 // vertices and edges are appended as agents subscribe. Runs of one engine

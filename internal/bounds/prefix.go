@@ -48,6 +48,11 @@ type EngineStats struct {
 	// RevRelaxations counts successful SPFA relaxations spent in reverse
 	// (into-target) queries, disjoint from Relaxations.
 	RevRelaxations int64
+	// ReplayBatches / ReplayChunks count the receive batches driven and the
+	// chunk buffers streamed by goroutine-free replay executions subscribed
+	// to this engine (live.Replay with Config.Engine set).
+	ReplayBatches int64
+	ReplayChunks  int64
 }
 
 // engineStats is the mutable counter block behind EngineStats.
@@ -62,6 +67,8 @@ type engineStats struct {
 	revRebuilds     atomic.Int64
 	bandRefreshes   atomic.Int64
 	revRelaxations  atomic.Int64
+	replayBatches   atomic.Int64
+	replayChunks    atomic.Int64
 }
 
 func (st *engineStats) snapshot() EngineStats {
@@ -76,6 +83,8 @@ func (st *engineStats) snapshot() EngineStats {
 		RevRebuilds:     st.revRebuilds.Load(),
 		BandRefreshes:   st.bandRefreshes.Load(),
 		RevRelaxations:  st.revRelaxations.Load(),
+		ReplayBatches:   st.replayBatches.Load(),
+		ReplayChunks:    st.replayChunks.Load(),
 	}
 }
 

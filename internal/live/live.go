@@ -95,6 +95,11 @@ type Config struct {
 	// recording's fingerprint comes out different — a wrong prediction
 	// must surface, not poison the cache.
 	Fingerprint uint64
+	// ReplayChunk bounds how many receive batches the replay mode buffers
+	// between its recorder and its driver (Replay only; zero means the
+	// package default). Long-horizon runs stream through a chunk this size
+	// instead of materializing the whole schedule in memory.
+	ReplayChunk int
 }
 
 // Result is the outcome of a live execution.
@@ -109,6 +114,90 @@ type Result struct {
 	// frozen standing prefix of an identical earlier run
 	// (Config.Fingerprint hit the network engine's prefix cache).
 	PrefixHit bool
+	// ReplayBatches / ReplayChunks count the receive batches driven and the
+	// chunk buffers streamed by the goroutine-free replay mode (both zero
+	// for goroutine executions).
+	ReplayBatches int
+	ReplayChunks  int
+}
+
+// execState is the engine wiring both execution modes share: Run and Replay
+// prepare it before their first tick and settle it after the recording is
+// built.
+type execState struct {
+	policy    sim.Policy
+	shared    *bounds.Shared
+	stamped   bool // this execution stamped shared itself, so it commits it
+	prefixHit bool
+}
+
+// prepare validates the configuration, resolves the policy, stamps the
+// per-run knowledge engine (when Config.Engine is set) and hands the shared
+// engine to every SharedUser agent. Both execution modes — the
+// goroutine-per-process environment (Run) and the goroutine-free replay
+// drive (Replay) — start here, so the engine lifecycle cannot drift between
+// them.
+func prepare(cfg Config) (*execState, error) {
+	if cfg.Net == nil || cfg.Horizon < 1 {
+		return nil, errors.New("live: bad configuration")
+	}
+	st := &execState{policy: cfg.Policy, shared: cfg.Shared}
+	if st.policy == nil {
+		st.policy = sim.Eager{}
+	}
+	if st.shared == nil && cfg.Engine != nil {
+		if en := cfg.Engine.Net(); en != cfg.Net && en.Fingerprint() != cfg.Net.Fingerprint() {
+			return nil, errors.New("live: Config.Engine was built for a different network")
+		}
+		st.shared, st.prefixHit = cfg.Engine.NewRunAt(cfg.Fingerprint)
+		st.stamped = true
+	}
+	if st.shared != nil {
+		if sn := st.shared.Net(); sn != cfg.Net && sn.Fingerprint() != cfg.Net.Fingerprint() {
+			return nil, errors.New("live: Config.Shared was built for a different network")
+		}
+		for _, agent := range cfg.Agents {
+			if su, ok := agent.(SharedUser); ok {
+				su.UseShared(st.shared)
+			}
+		}
+	}
+	return st, nil
+}
+
+// extTimetable validates the external schedule and slots it into
+// horizon-indexed buckets, exactly as sim.Simulate does.
+func extTimetable(cfg Config) ([][]run.ExternalEvent, error) {
+	extAt := make([][]run.ExternalEvent, cfg.Horizon+1)
+	for _, e := range cfg.Externals {
+		if !cfg.Net.ValidProc(e.Proc) || e.Time < 1 || e.Time > cfg.Horizon {
+			return nil, fmt.Errorf("live: bad external %q to %d at %d", e.Label, e.Proc, e.Time)
+		}
+		extAt[e.Time] = append(extAt[e.Time], e)
+	}
+	return extAt, nil
+}
+
+// finish builds the recording, enforces the predicted run fingerprint and —
+// when this execution stamped its engine itself — freezes the fully-absorbed
+// standing state for identical later runs.
+func finish(cfg Config, st *execState, bl *run.Builder, res *Result) error {
+	r, err := bl.Build()
+	if err != nil {
+		return err
+	}
+	if cfg.Fingerprint != 0 && r.Fingerprint() != cfg.Fingerprint {
+		return fmt.Errorf("live: recorded run fingerprint %#x differs from Config.Fingerprint %#x",
+			r.Fingerprint(), cfg.Fingerprint)
+	}
+	if st.stamped {
+		// No-op unless NewRunAt missed; the fingerprint check above keeps
+		// mispredicted runs out of the cache.
+		st.shared.CommitPrefix()
+		res.PrefixHit = st.prefixHit
+	}
+	res.Run = r
+	return nil
 }
 
 // batch is what the environment hands a process goroutine at one tick. The
@@ -141,35 +230,13 @@ type arrival struct {
 // policies: goroutine scheduling cannot influence outcomes because the
 // environment synchronizes on every delivery batch.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Net == nil || cfg.Horizon < 1 {
-		return nil, errors.New("live: bad configuration")
+	st, err := prepare(cfg)
+	if err != nil {
+		return nil, err
 	}
-	policy := cfg.Policy
-	if policy == nil {
-		policy = sim.Eager{}
-	}
+	policy := st.policy
 	net := cfg.Net
 	n := net.N()
-	shared := cfg.Shared
-	stamped := false // this Run stamped shared itself, so it commits it
-	prefixHit := false
-	if shared == nil && cfg.Engine != nil {
-		if en := cfg.Engine.Net(); en != net && en.Fingerprint() != net.Fingerprint() {
-			return nil, errors.New("live: Config.Engine was built for a different network")
-		}
-		shared, prefixHit = cfg.Engine.NewRunAt(cfg.Fingerprint)
-		stamped = true
-	}
-	if shared != nil {
-		if sn := shared.Net(); sn != net && sn.Fingerprint() != net.Fingerprint() {
-			return nil, errors.New("live: Config.Shared was built for a different network")
-		}
-		for _, agent := range cfg.Agents {
-			if su, ok := agent.(SharedUser); ok {
-				su.UseShared(shared)
-			}
-		}
-	}
 
 	// Spawn one goroutine per process, each owning its View and Agent.
 	inboxes := make([]chan batch, n)
@@ -212,12 +279,9 @@ func Run(cfg Config) (*Result, error) {
 	// timetable, mirroring sim.Simulate.
 	arrivals := make([][]arrival, cfg.Horizon+1)
 	var free [][]arrival
-	extAt := make([][]run.ExternalEvent, cfg.Horizon+1)
-	for _, e := range cfg.Externals {
-		if !net.ValidProc(e.Proc) || e.Time < 1 || e.Time > cfg.Horizon {
-			return nil, fmt.Errorf("live: bad external %q to %d at %d", e.Label, e.Proc, e.Time)
-		}
-		extAt[e.Time] = append(extAt[e.Time], e)
+	extAt, err := extTimetable(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	bl := run.NewBuilder(net, cfg.Horizon)
@@ -303,21 +367,8 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	r, err := bl.Build()
-	if err != nil {
+	if err := finish(cfg, st, bl, res); err != nil {
 		return nil, err
 	}
-	if cfg.Fingerprint != 0 && r.Fingerprint() != cfg.Fingerprint {
-		return nil, fmt.Errorf("live: recorded run fingerprint %#x differs from Config.Fingerprint %#x",
-			r.Fingerprint(), cfg.Fingerprint)
-	}
-	if stamped {
-		// Freeze the fully-absorbed standing state for identical later runs
-		// (no-op unless NewRunAt missed); the fingerprint check above keeps
-		// mispredicted runs out of the cache.
-		shared.CommitPrefix()
-		res.PrefixHit = prefixHit
-	}
-	res.Run = r
 	return res, nil
 }

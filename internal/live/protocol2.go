@@ -93,6 +93,39 @@ func (p *Protocol2) HandleStats() bounds.HandleStats {
 	return bounds.HandleStats{}
 }
 
+// knows answers the agent's knowledge query on whichever engine the agent
+// is configured with — shared handle, rebuild-per-state baseline, or the
+// default private incremental engine. Every execution mode (goroutine and
+// replay alike) funnels through this one dispatch, so adding a mode never
+// copies the engine selection.
+func (p *Protocol2) knows(v *run.View, theta1, theta2 run.GeneralNode) (bool, error) {
+	switch {
+	case p.Shared != nil:
+		if p.handle == nil {
+			p.handle = p.Shared.NewHandle(v)
+		} else if p.handle.View() != v {
+			return false, errDifferentView
+		}
+		return p.handle.Knows(theta1, p.Task.X, theta2)
+	case p.Rebuild:
+		ext, err := bounds.NewExtendedFromView(v)
+		if err != nil {
+			return false, err
+		}
+		return ext.Knows(theta1, p.Task.X, theta2)
+	default:
+		if p.engine == nil {
+			p.engine = bounds.NewOnline(v)
+		} else if p.engine.View() != v {
+			// The incremental engine is bound to the view it was built on; a
+			// harness that hands one agent two different views would
+			// otherwise get silently stale answers.
+			return false, errDifferentView
+		}
+		return p.engine.Knows(theta1, p.Task.X, theta2)
+	}
+}
+
 // OnState implements Agent.
 func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 	if p.acted || p.err != nil {
@@ -114,36 +147,7 @@ func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 	} else {
 		theta1, theta2 = sigma, aNode
 	}
-	var knows bool
-	var err error
-	switch {
-	case p.Shared != nil:
-		if p.handle == nil {
-			p.handle = p.Shared.NewHandle(v)
-		} else if p.handle.View() != v {
-			p.err = errDifferentView
-			return nil
-		}
-		knows, err = p.handle.Knows(theta1, p.Task.X, theta2)
-	case p.Rebuild:
-		ext, berr := bounds.NewExtendedFromView(v)
-		if berr != nil {
-			p.err = berr
-			return nil
-		}
-		knows, err = ext.Knows(theta1, p.Task.X, theta2)
-	default:
-		if p.engine == nil {
-			p.engine = bounds.NewOnline(v)
-		} else if p.engine.View() != v {
-			// The incremental engine is bound to the view it was built on; a
-			// harness that hands one agent two different views would
-			// otherwise get silently stale answers.
-			p.err = errDifferentView
-			return nil
-		}
-		knows, err = p.engine.Knows(theta1, p.Task.X, theta2)
-	}
+	knows, err := p.knows(v, theta1, theta2)
 	if err != nil {
 		p.err = err
 		return nil

@@ -1,0 +1,364 @@
+package live
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+)
+
+// defaultReplayChunk is how many receive batches a replay buffers between
+// recorder and driver when Config.ReplayChunk is zero. Small enough that a
+// million-event horizon never holds its schedule in memory, large enough
+// that the chunk bookkeeping vanishes against the per-batch work.
+const defaultReplayChunk = 512
+
+// replayArrival is one recorded delivery inside a batch: the sender's state
+// and send time. The receiver and receive time live on the batch.
+type replayArrival struct {
+	from run.BasicNode
+	send model.Time
+}
+
+// replayBatch is one receive batch of the recorded schedule: everything the
+// environment would have handed proc's goroutine at time, as spans into the
+// owning chunk's flat arrival and external backing.
+type replayBatch struct {
+	proc model.ProcID
+	time model.Time
+	// node is the state this batch creates. The recorder predicts it from
+	// the per-process state counter; the driver cross-checks it against
+	// what View.Absorb actually assigns, so a drift between the two loops
+	// is an error, never a silent mismatch.
+	node       run.BasicNode
+	arr0, arr1 int // span into chunk.arrivals
+	ext0, ext1 int // span into chunk.exts
+	// floods counts this state's flood messages that arrive within the
+	// horizon — known at schedule time, so the driver snapshots the view
+	// only when some receiver will actually consume the payload, and can
+	// drop the snapshot the moment its last arrival is absorbed.
+	floods int
+}
+
+// replayChunk is the streaming buffer between recorder and driver. All three
+// backing slices are reused across chunks, so a steady-state replay holds
+// one chunk of schedule regardless of horizon.
+type replayChunk struct {
+	batches  []replayBatch
+	arrivals []replayArrival
+	exts     []string
+}
+
+func (c *replayChunk) reset() {
+	c.batches = c.batches[:0]
+	c.arrivals = c.arrivals[:0]
+	c.exts = c.exts[:0]
+}
+
+// recorder runs the environment loop of live.Run — policy-scheduled arrival
+// buckets, per-process slabs, builder events — without any views or agents,
+// emitting the resulting receive batches chunk by chunk. Because every
+// channel latency is at least 1 (model.Bounds.Valid), an arrival at tick t
+// references a state created strictly before t, so the recorder can run a
+// whole chunk ahead of the driver and the reference is always resolvable.
+type recorder struct {
+	net    *model.Network
+	policy sim.Policy
+	bl     *run.Builder
+	hor    model.Time
+
+	arrivals [][]recArrival // horizon-indexed buckets
+	free     [][]recArrival // recycled bucket backing
+	extAt    [][]run.ExternalEvent
+
+	procArr [][]recArrival // per-proc slab for the current tick
+	procExt [][]string
+	lastIdx []int // per-proc state counter, mirrors View.Absorb's indices
+
+	t model.Time // next tick to process
+}
+
+// recArrival is one scheduled delivery in the recorder's buckets.
+type recArrival struct {
+	from   run.BasicNode
+	toProc model.ProcID
+	send   model.Time
+}
+
+func newRecorder(cfg Config, policy sim.Policy, bl *run.Builder) (*recorder, error) {
+	extAt, err := extTimetable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Net.N()
+	return &recorder{
+		net:      cfg.Net,
+		policy:   policy,
+		bl:       bl,
+		hor:      cfg.Horizon,
+		arrivals: make([][]recArrival, cfg.Horizon+1),
+		extAt:    extAt,
+		procArr:  make([][]recArrival, n),
+		procExt:  make([][]string, n),
+		lastIdx:  make([]int, n),
+		t:        1,
+	}, nil
+}
+
+// fill appends whole ticks of batches to the chunk until it holds at least
+// limit batches or the horizon is exhausted. Working in whole ticks keeps
+// the recorder free of mid-tick resume state; a chunk can exceed limit by at
+// most one tick's batches (≤ n).
+func (rc *recorder) fill(c *replayChunk, limit int) error {
+	net := rc.net
+	n := net.N()
+	for rc.t <= rc.hor && len(c.batches) < limit {
+		t := rc.t
+		rc.t++
+		if rc.arrivals[t] == nil && rc.extAt[t] == nil {
+			continue
+		}
+		for _, a := range rc.arrivals[t] {
+			rc.procArr[a.toProc-1] = append(rc.procArr[a.toProc-1], a)
+		}
+		if rc.arrivals[t] != nil {
+			rc.free = append(rc.free, rc.arrivals[t][:0])
+			rc.arrivals[t] = nil
+		}
+		// Record the tick's externals up front in configuration order —
+		// exactly as Run and sim.Simulate do, so the recordings stay
+		// byte-identical.
+		for _, e := range rc.extAt[t] {
+			rc.bl.External(run.ExternalEvent{Proc: e.Proc, Time: t, Label: e.Label})
+			rc.procExt[e.Proc-1] = append(rc.procExt[e.Proc-1], e.Label)
+		}
+
+		for p := model.ProcID(1); int(p) <= n; p++ {
+			arr := rc.procArr[p-1]
+			ext := rc.procExt[p-1]
+			if len(arr) == 0 && len(ext) == 0 {
+				continue
+			}
+			rc.procArr[p-1] = arr[:0]
+			rc.procExt[p-1] = ext[:0]
+
+			arr0 := len(c.arrivals)
+			for _, a := range arr {
+				c.arrivals = append(c.arrivals, replayArrival{from: a.from, send: a.send})
+				rc.bl.Message(run.MessageEvent{
+					FromProc: a.from.Proc, ToProc: p, SendTime: a.send, RecvTime: t,
+				})
+			}
+			ext0 := len(c.exts)
+			c.exts = append(c.exts, ext...)
+
+			// The batch creates proc p's next state; View.Absorb assigns
+			// indices 1, 2, ... in batch order, which is exactly this
+			// counter.
+			rc.lastIdx[p-1]++
+			node := run.BasicNode{Proc: p, Index: rc.lastIdx[p-1]}
+
+			// FFIP flood off the new state, counting the deliveries that
+			// stay within the horizon.
+			floods := 0
+			for _, a := range net.OutArcs(p) {
+				s := sim.Send{From: p, To: a.To, SendTime: t}
+				lat := rc.policy.Latency(s, a.Bounds)
+				if lat < a.Bounds.Lower || lat > a.Bounds.Upper {
+					return fmt.Errorf("live: policy %q chose latency %d outside %s", rc.policy.Name(), lat, a.Bounds)
+				}
+				if t+lat > rc.hor {
+					continue
+				}
+				if rc.arrivals[t+lat] == nil {
+					if len(rc.free) > 0 {
+						rc.arrivals[t+lat] = rc.free[len(rc.free)-1]
+						rc.free = rc.free[:len(rc.free)-1]
+					} else {
+						rc.arrivals[t+lat] = make([]recArrival, 0, len(net.OutArcs(p)))
+					}
+				}
+				rc.arrivals[t+lat] = append(rc.arrivals[t+lat], recArrival{
+					from: node, toProc: a.To, send: t,
+				})
+				floods++
+			}
+
+			c.batches = append(c.batches, replayBatch{
+				proc: p, time: t, node: node,
+				arr0: arr0, arr1: len(c.arrivals),
+				ext0: ext0, ext1: len(c.exts),
+				floods: floods,
+			})
+		}
+	}
+	return nil
+}
+
+// snapEntry is a live payload the driver holds for pending arrivals: the
+// state occupying the ring slot, its frozen history and how many recorded
+// deliveries still reference it. The snapshot is dropped at zero, so memory
+// tracks in-flight messages, not the horizon.
+type snapEntry struct {
+	idx  int
+	snap *run.Snapshot
+	left int
+}
+
+// driver consumes recorded chunks in a single goroutine, owning every
+// process's view and agent. It is the replay-mode counterpart of the
+// goroutine-per-process loop in Run: same Absorb/OnState/Snapshot sequence
+// per batch, same (time, proc) order, no channels.
+//
+// Pending payloads live in fixed per-process rings indexed by node index
+// modulo maxUpper+1. The slot reuse is sound: a process creates at most one
+// state per tick, so two states maxUpper+1 indices apart are at least
+// maxUpper+1 ticks apart, and every arrival flooding off the earlier one
+// (latency ≤ maxUpper) is absorbed — batches are driven in tick order —
+// before the later one's batch stores into the slot.
+type driver struct {
+	cfg      Config
+	views    []*run.View
+	agents   []Agent
+	rings    [][]snapEntry
+	receipts []run.Receipt
+	res      *Result
+}
+
+func newDriver(cfg Config, res *Result) *driver {
+	n := cfg.Net.N()
+	views := make([]*run.View, n)
+	agents := make([]Agent, n)
+	for _, p := range cfg.Net.Procs() {
+		views[p-1] = run.NewLocalView(cfg.Net, p)
+		agents[p-1] = cfg.Agents[p]
+	}
+	maxU := 0
+	for _, a := range cfg.Net.Arcs() {
+		if a.Bounds.Upper > maxU {
+			maxU = a.Bounds.Upper
+		}
+	}
+	ringBacking := make([]snapEntry, n*(maxU+1))
+	rings := make([][]snapEntry, n)
+	for i := range rings {
+		rings[i] = ringBacking[i*(maxU+1) : (i+1)*(maxU+1)]
+	}
+	return &driver{
+		cfg:      cfg,
+		views:    views,
+		agents:   agents,
+		rings:    rings,
+		receipts: make([]run.Receipt, 0, 8),
+		res:      res,
+	}
+}
+
+// drive replays one chunk of batches against the views and agents.
+func (d *driver) drive(c *replayChunk) error {
+	for i := range c.batches {
+		b := &c.batches[i]
+		d.receipts = d.receipts[:0]
+		for _, a := range c.arrivals[b.arr0:b.arr1] {
+			ring := d.rings[a.from.Proc-1]
+			e := &ring[a.from.Index%len(ring)]
+			if e.idx != a.from.Index || e.left == 0 {
+				return fmt.Errorf("live: replay references unknown state %v", a.from)
+			}
+			d.receipts = append(d.receipts, run.Receipt{From: a.from, Payload: e.snap})
+			if e.left--; e.left == 0 {
+				e.snap = nil
+			}
+		}
+		ext := c.exts[b.ext0:b.ext1]
+
+		view := d.views[b.proc-1]
+		node, err := view.Absorb(d.receipts, ext)
+		if err != nil {
+			return fmt.Errorf("live: process %d: %w", b.proc, err)
+		}
+		if node != b.node {
+			return fmt.Errorf("live: replay predicted state %v for process %d, view produced %v",
+				b.node, b.proc, node)
+		}
+		if agent := d.agents[b.proc-1]; agent != nil {
+			for _, label := range agent.OnState(view, ext) {
+				d.res.Actions = append(d.res.Actions, Action{Proc: b.proc, Node: node, Time: b.time, Label: label})
+			}
+		}
+		if b.floods > 0 {
+			ring := d.rings[b.proc-1]
+			ring[node.Index%len(ring)] = snapEntry{idx: node.Index, snap: view.Snapshot(), left: b.floods}
+		}
+	}
+	return nil
+}
+
+// Replay executes the configuration in a single goroutine: the recorder
+// mirrors the environment loop of Run (same policy calls, same builder
+// events, same batch order) while the driver feeds the recorded batches
+// straight into each process's view and agent — no channels, no per-tick
+// handshakes. The schedule streams through one bounded chunk
+// (Config.ReplayChunk batches), so long-horizon runs never hold their event
+// stream in memory.
+//
+// Replay is observationally identical to Run: the recording, its
+// fingerprint, and every agent's view sequence and actions are
+// byte-identical, because scheduling is agent-independent (agents only emit
+// action labels) and every latency is at least 1 (so a chunk's arrivals
+// always reference already-driven states). The differential tests pin this
+// across the full scenario registry.
+func Replay(cfg Config) (*Result, error) {
+	st, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bl := run.NewBuilder(cfg.Net, cfg.Horizon)
+	rec, err := newRecorder(cfg, st.policy, bl)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	drv := newDriver(cfg, res)
+
+	limit := cfg.ReplayChunk
+	if limit <= 0 {
+		limit = defaultReplayChunk
+	}
+	// A process creates at most one state per tick, so the whole schedule
+	// holds at most horizon*n batches; capping the chunk there keeps short
+	// runs from buying the default buffer, and presizing the slabs once
+	// (fill overshoots limit by at most one tick, ≤ n batches) lets every
+	// chunk cycle append without regrowing.
+	n := cfg.Net.N()
+	if most := int(cfg.Horizon) * n; most < limit {
+		limit = most
+	}
+	chunk := replayChunk{
+		batches:  make([]replayBatch, 0, limit+n),
+		arrivals: make([]replayArrival, 0, 2*(limit+n)),
+	}
+	for {
+		chunk.reset()
+		if err := rec.fill(&chunk, limit); err != nil {
+			return nil, err
+		}
+		if len(chunk.batches) == 0 {
+			break
+		}
+		res.ReplayChunks++
+		res.ReplayBatches += len(chunk.batches)
+		if err := drv.drive(&chunk); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := finish(cfg, st, bl, res); err != nil {
+		return nil, err
+	}
+	if cfg.Engine != nil {
+		cfg.Engine.NoteReplay(int64(res.ReplayBatches), int64(res.ReplayChunks))
+	}
+	return res, nil
+}

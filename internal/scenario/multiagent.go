@@ -119,3 +119,33 @@ func MultiAgentEarlyFamily() []*Scenario {
 	}
 	return out
 }
+
+// ReplayHorizonFactor stretches the horizon of the replay-only heavy-tail
+// family past the multi-agent baseline. Replay cells stream the schedule in
+// bounded chunks, so the factor costs memory nothing; the goroutine
+// environment would pay it in channel handshakes per tick.
+const ReplayHorizonFactor = 8
+
+// MultiAgentHeavy builds the coord-heavy-m<m> scenario: the topology and
+// tasks of MultiAgent(m) at ReplayHorizonFactor times the horizon, made for
+// heavy-tailed latency policies (sim.HeavyTail) whose straggler deliveries
+// need the longer window to resolve. DefaultPolicy stays nil (sweeps supply
+// the policy axis; canonical single runs fall back to Eager). The family is
+// deliberately NOT in the registry: it exists for the goroutine-free replay
+// live mode, at horizons the goroutine environment can't afford, and the CLI
+// appends it to the live grid only when replay mode is selected.
+func MultiAgentHeavy(m int) *Scenario {
+	sc := MultiAgent(m)
+	sc.Name = fmt.Sprintf("coord-heavy-m%d", m)
+	sc.Description = fmt.Sprintf(
+		"long-horizon heavy-tail coordination: %d concurrent Protocol2 agents (n=%d, %d channels), horizon x%d",
+		m, sc.Net.N(), sc.Net.NumChannels(), ReplayHorizonFactor)
+	sc.Horizon *= ReplayHorizonFactor
+	return sc
+}
+
+// ReplayFamily returns the replay-only scenario family: long-horizon
+// heavy-tail coordination at a small and a large agent count.
+func ReplayFamily() []*Scenario {
+	return []*Scenario{MultiAgentHeavy(4), MultiAgentHeavy(16)}
+}

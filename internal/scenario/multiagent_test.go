@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/clockless/zigzag/internal/coord"
@@ -67,6 +68,41 @@ func TestMultiAgentFamilyInRegistry(t *testing.T) {
 	// The x override reaches every concurrent task.
 	if reg2 := Registry(9); reg2["coord-m4"].Tasks[2].X != 9 {
 		t.Fatalf("x override not applied: %+v", reg2["coord-m4"].Tasks[2])
+	}
+}
+
+// TestReplayFamilyShape pins the replay-only heavy-tail family: same
+// topology and tasks as the coord-m members, the horizon stretched by
+// ReplayHorizonFactor, no default policy (sweeps supply the axis), and —
+// deliberately — no presence in the registry at any size ceiling: the
+// family exists for the goroutine-free replay live mode and is appended to
+// live grids explicitly.
+func TestReplayFamilyShape(t *testing.T) {
+	fam := ReplayFamily()
+	if len(fam) != 2 {
+		t.Fatalf("family size %d, want 2", len(fam))
+	}
+	for _, sc := range fam {
+		m := len(sc.Tasks)
+		base := MultiAgent(m)
+		if sc.Name != fmt.Sprintf("coord-heavy-m%d", m) {
+			t.Fatalf("unexpected name %s", sc.Name)
+		}
+		if sc.Horizon != base.Horizon*ReplayHorizonFactor {
+			t.Fatalf("%s: horizon %d, want %d x %d", sc.Name, sc.Horizon, base.Horizon, ReplayHorizonFactor)
+		}
+		if sc.Net.Fingerprint() != base.Net.Fingerprint() {
+			t.Fatalf("%s: network differs from %s", sc.Name, base.Name)
+		}
+		if len(sc.Tasks) != len(base.Tasks) {
+			t.Fatalf("%s: %d tasks, want %d", sc.Name, len(sc.Tasks), len(base.Tasks))
+		}
+		if sc.DefaultPolicy != nil {
+			t.Fatalf("%s: unexpected default policy %q", sc.Name, sc.DefaultPolicy.Name())
+		}
+		if RegistrySized(0, 16)[sc.Name] != nil {
+			t.Fatalf("%s leaked into the registry", sc.Name)
+		}
 	}
 }
 

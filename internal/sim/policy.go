@@ -78,6 +78,40 @@ func (r *Random) Latency(_ Send, b model.Bounds) int {
 // Name implements Policy.
 func (r *Random) Name() string { return "random" }
 
+// HeavyTail draws latencies from a heavy-tailed distribution over [L, U]:
+// most messages arrive at or near the lower bound, but a seeded minority
+// straggles all the way to the deadline (extra = floor((span+1)·u³) for
+// uniform u, truncated to the window). It models the asymmetric networks the
+// paper's bounds are interesting for — fast common case, slow tail — and is
+// the first policy family the replay live mode opens at horizons the
+// goroutine environment can't afford. The zero value is not usable; use
+// NewHeavyTail.
+type HeavyTail struct {
+	rng *rand.Rand
+}
+
+// NewHeavyTail returns a HeavyTail policy with the given seed.
+func NewHeavyTail(seed int64) *HeavyTail {
+	return &HeavyTail{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Latency implements Policy.
+func (h *HeavyTail) Latency(_ Send, b model.Bounds) int {
+	span := b.Upper - b.Lower
+	if span == 0 {
+		return b.Lower
+	}
+	u := h.rng.Float64()
+	extra := int(float64(span+1) * u * u * u)
+	if extra > span {
+		extra = span
+	}
+	return b.Lower + extra
+}
+
+// Name implements Policy.
+func (h *HeavyTail) Name() string { return "heavy" }
+
 // Func adapts a function to a Policy; useful for custom adversaries in
 // tests and experiments.
 type Func struct {

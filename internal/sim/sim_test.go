@@ -131,6 +131,42 @@ func TestRandomPolicyWithinBounds(t *testing.T) {
 	}
 }
 
+// TestHeavyTailPolicy pins the heavy-tail family: every latency stays in
+// bounds, the same seed reproduces the same schedule, and the distribution
+// is actually tail-heavy — most deliveries at or near the lower bound, yet
+// some stragglers reach the deadline.
+func TestHeavyTailPolicy(t *testing.T) {
+	b := model.Bounds{Lower: 2, Upper: 12}
+	p1, p2 := NewHeavyTail(9), NewHeavyTail(9)
+	const samples = 2000
+	fast, deadline := 0, 0
+	for i := 0; i < samples; i++ {
+		s := Send{From: 1, To: 2, SendTime: i}
+		lat := p1.Latency(s, b)
+		if lat2 := p2.Latency(s, b); lat2 != lat {
+			t.Fatalf("sample %d: same seed gave %d vs %d", i, lat, lat2)
+		}
+		if lat < b.Lower || lat > b.Upper {
+			t.Fatalf("sample %d: latency %d outside %s", i, lat, b)
+		}
+		if lat <= b.Lower+1 {
+			fast++
+		}
+		if lat == b.Upper {
+			deadline++
+		}
+	}
+	if fast < samples/2 {
+		t.Errorf("only %d/%d deliveries near the lower bound — not tail-heavy", fast, samples)
+	}
+	if deadline == 0 {
+		t.Error("no delivery ever straggled to the deadline")
+	}
+	if got := p1.Latency(Send{}, model.Bounds{Lower: 3, Upper: 3}); got != 3 {
+		t.Errorf("degenerate window latency %d, want 3", got)
+	}
+}
+
 func TestTimedPolicyAndReplay(t *testing.T) {
 	net := model.MustComplete(3, 1, 6)
 	r1, err := Simulate(Config{Net: net, Horizon: 40, Policy: NewRandom(5), Externals: GoAt(1, 2, "go")})
@@ -173,6 +209,7 @@ func TestPolicyNames(t *testing.T) {
 		{Eager{}, "eager"},
 		{Lazy{}, "lazy"},
 		{NewRandom(1), "random"},
+		{NewHeavyTail(1), "heavy"},
 		{Func{}, "func"},
 		{Func{ID: "adv"}, "adv"},
 		{&Timed{}, "timed"},

@@ -24,6 +24,7 @@ var csvHeader = []string{
 	"agents", "agents_acted",
 	"prefix_hits", "prefix_misses",
 	"rev_hits", "rev_rebuilds", "band_refreshes", "rev_relaxations",
+	"replay_batches", "replay_chunks",
 }
 
 // WriteCSV renders aggregates as CSV in the given order, one row per
@@ -49,6 +50,7 @@ func WriteCSV(w io.Writer, aggs []Aggregate) error {
 			strconv.Itoa(a.PrefixHits), strconv.Itoa(a.PrefixMisses),
 			strconv.FormatInt(a.Rev.RevHits, 10), strconv.FormatInt(a.Rev.RevRebuilds, 10),
 			strconv.FormatInt(a.Rev.BandRefreshes, 10), strconv.FormatInt(a.Rev.RevRelaxations, 10),
+			strconv.Itoa(a.ReplayBatches), strconv.Itoa(a.ReplayChunks),
 		}
 		if a.Acted > 0 {
 			row[17] = f(a.Gap.Mean)

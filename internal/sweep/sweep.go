@@ -24,12 +24,16 @@ import (
 // ErrEmptyGrid reports a grid with no cells to run.
 var ErrEmptyGrid = errors.New("sweep: empty grid")
 
-// Cell execution modes: offline simulation plus paper analysis, or the
-// goroutine-per-process live environment with one Protocol2 agent per task
-// subscribing to a per-network knowledge engine.
+// Cell execution modes: offline simulation plus paper analysis, or a live
+// execution with one Protocol2 agent per task subscribing to a per-network
+// knowledge engine — either the goroutine-per-process environment (ModeLive)
+// or the goroutine-free single-threaded replay drive (ModeReplay, the
+// default live mode; the goroutine environment is kept as its differential
+// oracle).
 const (
-	ModeSim  = "sim"
-	ModeLive = "live"
+	ModeSim    = "sim"
+	ModeLive   = "live"
+	ModeReplay = "replay"
 )
 
 // PolicySpec names a delivery-policy family and constructs a fresh instance
@@ -49,12 +53,14 @@ type PolicySpec struct {
 }
 
 // DefaultPolicies returns the canonical policy families: the two latency
-// extremes and the seeded uniform-random environment.
+// extremes, the seeded uniform-random environment and the seeded
+// heavy-tailed environment (fast common case, stragglers to the deadline).
 func DefaultPolicies() []PolicySpec {
 	return []PolicySpec{
 		{Name: "eager", New: func(int64) sim.Policy { return sim.Eager{} }, Deterministic: true},
 		{Name: "lazy", New: func(int64) sim.Policy { return sim.Lazy{} }, Deterministic: true},
 		{Name: "random", New: func(seed int64) sim.Policy { return sim.NewRandom(seed) }},
+		{Name: "heavy", New: func(seed int64) sim.Policy { return sim.NewHeavyTail(seed) }},
 	}
 }
 
@@ -73,12 +79,27 @@ type Grid struct {
 	// tier exists for. Cells of Deterministic policies additionally share
 	// their standing run material through the engine's prefix cache (see
 	// RunWithEngines). Live cells enumerate after the sim cells,
-	// scenario-major, then policy, then seed, and report under Mode "live".
-	Live     []*scenario.Scenario
+	// scenario-major, then policy, then seed, and report under the grid's
+	// live mode (LiveMode).
+	Live []*scenario.Scenario
+	// LiveMode selects how live cells execute: ModeReplay (goroutine-free
+	// single-threaded replay, the default when empty) or ModeLive (the
+	// goroutine-per-process environment, kept as the replay mode's
+	// differential oracle). Both record byte-identical runs; cells report
+	// under the chosen mode.
+	LiveMode string
 	Policies []PolicySpec
 	Seeds    []int64
 	// Workers bounds concurrent cells; <= 0 means GOMAXPROCS.
 	Workers int
+}
+
+// liveMode resolves the grid's live execution mode, defaulting to replay.
+func (g Grid) liveMode() string {
+	if g.LiveMode == "" {
+		return ModeReplay
+	}
+	return g.LiveMode
 }
 
 // Size returns the number of cells in the grid.
@@ -93,8 +114,8 @@ type Result struct {
 	Scenario string
 	Policy   string
 	Seed     int64
-	// Mode is ModeSim or ModeLive (empty results from older callers mean
-	// sim).
+	// Mode is ModeSim, ModeLive or ModeReplay (empty results from older
+	// callers mean sim).
 	Mode string
 	Err  error
 
@@ -127,6 +148,12 @@ type Result struct {
 	// warm reverse restarts, full reverse rebuilds, aux-band refreshes and
 	// reverse SPFA relaxations.
 	Rev bounds.HandleStats
+
+	// ReplayBatches / ReplayChunks count the receive batches driven and the
+	// chunk buffers streamed by a replay-mode cell (zero for sim and
+	// goroutine-mode cells).
+	ReplayBatches int
+	ReplayChunks  int
 }
 
 // Result.Prefix values.
@@ -175,6 +202,9 @@ func (g Grid) Run() ([]Result, error) {
 func (g Grid) RunWithEngines() ([]Result, EngineReport, error) {
 	if g.Size() == 0 {
 		return nil, EngineReport{}, ErrEmptyGrid
+	}
+	if m := g.liveMode(); m != ModeReplay && m != ModeLive {
+		return nil, EngineReport{}, fmt.Errorf("sweep: unknown live mode %q", g.LiveMode)
 	}
 	for _, sc := range g.Scenarios {
 		if sc == nil {
@@ -259,6 +289,8 @@ func (g Grid) RunWithEngines() ([]Result, EngineReport, error) {
 		rep.Stats.RevRebuilds += st.RevRebuilds
 		rep.Stats.BandRefreshes += st.BandRefreshes
 		rep.Stats.RevRelaxations += st.RevRelaxations
+		rep.Stats.ReplayBatches += st.ReplayBatches
+		rep.Stats.ReplayChunks += st.ReplayChunks
 	}
 	return results, rep, nil
 }
@@ -314,7 +346,7 @@ func (fm *fpMemo) fingerprint(sc *scenario.Scenario, spec PolicySpec, seed int64
 func (g Grid) cell(i int, engines map[uint64]*bounds.NetworkEngine, memo *fpMemo) Result {
 	sc, spec, seed, isLive := g.decode(i)
 	if isLive {
-		return liveCell(sc, spec, seed, engines[sc.Net.Fingerprint()], memo)
+		return liveCell(sc, spec, seed, g.liveMode(), engines[sc.Net.Fingerprint()], memo)
 	}
 
 	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: ModeSim}
@@ -351,9 +383,11 @@ func (g Grid) cell(i int, engines map[uint64]*bounds.NetworkEngine, memo *fpMemo
 // still execute (pure FFIP relay runs) and report shape only. Cells of
 // deterministic policies learn their run fingerprint up front (memoized
 // pre-simulation) and route their per-run engine through the network
-// engine's standing-prefix cache.
-func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, eng *bounds.NetworkEngine, memo *fpMemo) Result {
-	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: ModeLive}
+// engine's standing-prefix cache. mode picks the execution engine —
+// live.Replay (ModeReplay) or live.Run (ModeLive); both produce identical
+// recordings and actions, so everything below the dispatch is shared.
+func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, mode string, eng *bounds.NetworkEngine, memo *fpMemo) Result {
+	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: mode}
 	var runFP uint64
 	if spec.Deterministic {
 		fp, err := memo.fingerprint(sc, spec, seed)
@@ -365,7 +399,11 @@ func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, eng *bounds.Ne
 	}
 	tasks := sc.TaskList()
 	agents, agentMap := live.NewTaskAgents(tasks)
-	out, err := live.Run(live.Config{
+	exec := live.Run
+	if mode == ModeReplay {
+		exec = live.Replay
+	}
+	out, err := exec(live.Config{
 		Net: sc.Net, Horizon: sc.Horizon, Policy: spec.New(seed),
 		Externals: sc.Externals, Agents: agentMap, Engine: eng,
 		Fingerprint: runFP,
@@ -374,6 +412,8 @@ func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, eng *bounds.Ne
 		res.Err = err
 		return res
 	}
+	res.ReplayBatches = out.ReplayBatches
+	res.ReplayChunks = out.ReplayChunks
 	if runFP != 0 {
 		if out.PrefixHit {
 			res.Prefix = PrefixHit
@@ -404,7 +444,8 @@ func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, eng *bounds.Ne
 type Aggregate struct {
 	Scenario string
 	Policy   string
-	// Mode is ModeSim or ModeLive (empty from pre-mode results means sim).
+	// Mode is ModeSim, ModeLive or ModeReplay (empty from pre-mode results
+	// means sim).
 	Mode   string
 	Runs   int
 	Errors int
@@ -428,6 +469,11 @@ type Aggregate struct {
 
 	// Rev sums the reverse-cache counters over the group's live cells.
 	Rev bounds.HandleStats
+
+	// ReplayBatches / ReplayChunks sum the replay-mode streaming counters
+	// over the group's cells (zero for sim and goroutine-mode groups).
+	ReplayBatches int
+	ReplayChunks  int
 }
 
 // Summarize groups results by (scenario, policy, mode) in first-appearance
@@ -471,6 +517,8 @@ func Summarize(results []Result) []Aggregate {
 			a.PrefixMisses++
 		}
 		a.Rev.Add(res.Rev)
+		a.ReplayBatches += res.ReplayBatches
+		a.ReplayChunks += res.ReplayChunks
 	}
 	for i := range aggs {
 		s := samples[key{aggs[i].Scenario, aggs[i].Policy, aggs[i].Mode}]
@@ -488,11 +536,12 @@ func Summarize(results []Result) []Aggregate {
 // over the group's standing-prefix cache traffic ("-" when the group
 // bypasses the cache); the rev column reads warm-hits/reverse-queries over
 // the group's reverse-cache traffic ("-" when no agent hit the Early
-// shape).
+// shape); the replay column reads batches/chunks streamed by replay-mode
+// cells ("-" for sim and goroutine-mode rows).
 func Table(aggs []Aggregate) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix\trev")
+	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix\trev\treplay")
 	for _, a := range aggs {
 		acted := "-"
 		gapMean := "-"
@@ -515,13 +564,17 @@ func Table(aggs []Aggregate) string {
 		if q := a.Rev.RevHits + a.Rev.RevRebuilds; q > 0 {
 			rev = fmt.Sprintf("%d/%d", a.Rev.RevHits, q)
 		}
+		replay := "-"
+		if a.ReplayBatches > 0 {
+			replay = fmt.Sprintf("%d/%d", a.ReplayBatches, a.ReplayChunks)
+		}
 		mode := a.Mode
 		if mode == "" {
 			mode = ModeSim
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			a.Scenario, mode, a.Policy, a.Runs, a.Errors, a.Nodes.Mean, a.Deliveries.Mean,
-			acted, gapMean, gapRange, prefix, rev)
+			acted, gapMean, gapRange, prefix, rev, replay)
 	}
 	tw.Flush()
 	return b.String()

@@ -109,12 +109,12 @@ func TestRunOutcomes(t *testing.T) {
 }
 
 // TestRunLiveCells pins the live grid dimension: live cells enumerate after
-// the sim cells (scenario-major, policy, seed), report under Mode "live"
-// with per-agent tallies, and — because every Protocol2 agent must agree
-// with the offline analysis — the number of acting agents matches
-// RunOptimal on the same recorded runs. The whole block runs through ONE
-// NetworkEngine per network, across workers, so this also exercises
-// concurrent runs of a shared engine.
+// the sim cells (scenario-major, policy, seed), report under the default
+// live mode ("replay") with per-agent tallies and streaming counters, and —
+// because every Protocol2 agent must agree with the offline analysis — the
+// number of acting agents matches RunOptimal on the same recorded runs. The
+// whole block runs through ONE NetworkEngine per network, across workers,
+// so this also exercises concurrent runs of a shared engine.
 func TestRunLiveCells(t *testing.T) {
 	reg := scenario.Registry(0)
 	g := Grid{
@@ -137,8 +137,8 @@ func TestRunLiveCells(t *testing.T) {
 		for _, pol := range g.Policies {
 			for _, seed := range g.Seeds {
 				res := results[i]
-				if res.Scenario != sc.Name || res.Policy != pol.Name || res.Seed != seed || res.Mode != ModeLive {
-					t.Fatalf("result %d is (%s,%s,%d,%s), want live (%s,%s,%d)",
+				if res.Scenario != sc.Name || res.Policy != pol.Name || res.Seed != seed || res.Mode != ModeReplay {
+					t.Fatalf("result %d is (%s,%s,%d,%s), want replay (%s,%s,%d)",
 						i, res.Scenario, res.Policy, res.Seed, res.Mode, sc.Name, pol.Name, seed)
 				}
 				if res.Err != nil {
@@ -146,6 +146,10 @@ func TestRunLiveCells(t *testing.T) {
 				}
 				if res.Agents != len(sc.Tasks) {
 					t.Fatalf("cell %d hosts %d agents, want %d", i, res.Agents, len(sc.Tasks))
+				}
+				if res.ReplayBatches == 0 || res.ReplayChunks == 0 {
+					t.Fatalf("cell %d reports no replay streaming counters: %d/%d",
+						i, res.ReplayBatches, res.ReplayChunks)
 				}
 				// Cross-check the acting-agent count against the offline
 				// optimum on a fresh simulation of the same cell.
@@ -173,15 +177,68 @@ func TestRunLiveCells(t *testing.T) {
 	aggs := Summarize(results)
 	var liveRows int
 	for _, a := range aggs {
-		if a.Mode == ModeLive {
+		if a.Mode == ModeReplay {
 			liveRows++
 			if a.AgentRuns == 0 {
 				t.Fatalf("live aggregate %s/%s has no agent runs", a.Scenario, a.Policy)
 			}
+			if a.ReplayBatches == 0 || a.ReplayChunks == 0 {
+				t.Fatalf("replay aggregate %s/%s carries no streaming counters", a.Scenario, a.Policy)
+			}
 		}
 	}
 	if want := len(g.Live) * len(g.Policies); liveRows != want {
-		t.Fatalf("got %d live aggregate rows, want %d", liveRows, want)
+		t.Fatalf("got %d replay aggregate rows, want %d", liveRows, want)
+	}
+}
+
+// TestRunLiveModesAgree is the sweep-level differential: the same live grid
+// run under the goroutine environment and the goroutine-free replay drive
+// must produce cell-for-cell identical results — shapes, actions, prefix
+// routing, reverse-cache counters — differing only in the reported mode and
+// the replay streaming counters. Unknown modes are rejected up front.
+func TestRunLiveModesAgree(t *testing.T) {
+	reg := scenario.Registry(0)
+	mk := func(mode string) Grid {
+		return Grid{
+			Live:     []*scenario.Scenario{reg["coord-m2"], reg["coord-m4"]},
+			LiveMode: mode,
+			Policies: DefaultPolicies(),
+			Seeds:    []int64{1, 2},
+			Workers:  4,
+		}
+	}
+	replay, err := mk("").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goroutine, err := mk(ModeLive).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(goroutine) {
+		t.Fatalf("result counts differ: %d vs %d", len(replay), len(goroutine))
+	}
+	for i := range replay {
+		r, g := replay[i], goroutine[i]
+		if r.Err != nil || g.Err != nil {
+			t.Fatalf("cell %d failed: replay=%v goroutine=%v", i, r.Err, g.Err)
+		}
+		if r.Mode != ModeReplay || g.Mode != ModeLive {
+			t.Fatalf("cell %d modes: %q vs %q", i, r.Mode, g.Mode)
+		}
+		if r.ReplayBatches == 0 || g.ReplayBatches != 0 {
+			t.Fatalf("cell %d replay counters: replay=%d goroutine=%d", i, r.ReplayBatches, g.ReplayBatches)
+		}
+		// Everything else must coincide exactly.
+		r.Mode, r.ReplayBatches, r.ReplayChunks = "", 0, 0
+		g.Mode, g.ReplayBatches, g.ReplayChunks = "", 0, 0
+		if !reflect.DeepEqual(r, g) {
+			t.Errorf("cell %d differs:\n  replay:    %+v\n  goroutine: %+v", i, r, g)
+		}
+	}
+	if _, err := mk("threads").Run(); err == nil {
+		t.Error("unknown live mode accepted")
 	}
 }
 
@@ -273,12 +330,12 @@ func TestRunPrefixSharing(t *testing.T) {
 		t.Fatal("work counters stayed zero across a live sweep")
 	}
 	for _, a := range Summarize(results) {
-		if a.Mode != ModeLive {
+		if a.Mode != ModeReplay {
 			continue
 		}
-		if a.Policy == "random" {
+		if a.Policy == "random" || a.Policy == "heavy" {
 			if a.PrefixHits != 0 || a.PrefixMisses != 0 {
-				t.Fatalf("%s/%s: random aggregate counts cache traffic", a.Scenario, a.Policy)
+				t.Fatalf("%s/%s: seed-sensitive aggregate counts cache traffic", a.Scenario, a.Policy)
 			}
 			continue
 		}

@@ -31,6 +31,13 @@ type (
 // RunLive executes the configuration with one goroutine per process.
 func RunLive(cfg LiveConfig) (*LiveResult, error) { return live.Run(cfg) }
 
+// RunReplay executes the configuration goroutine-free: the arrival-ordered
+// event stream is recorded once and every agent is driven state by state in
+// the calling goroutine, streaming long horizons through bounded chunks.
+// The result — recording, fingerprint and actions — is byte-identical to
+// RunLive on the same configuration.
+func RunReplay(cfg LiveConfig) (*LiveResult, error) { return live.Replay(cfg) }
+
 // ViewOf extracts the subjective view of sigma from a recorded run.
 func ViewOf(r *Run, sigma BasicNode) (*View, error) { return run.ViewOf(r, sigma) }
 
