@@ -10,9 +10,10 @@
 //	zigzag-sim [-scenario name] [-policy eager|lazy|random|heavy] [-seed n]
 //	           [-x n] [-coord-m m] [-timeline n] [-list] [-dump file]
 //	           [-engine offline|rebuild|online|shared] [-kind late|early|mixed]
+//	           [-faults crash|link|deadline|chaos]
 //	           [-cpuprofile file] [-memprofile file]
 //	zigzag-sim -sweep [-seeds n] [-workers n] [-x n] [-coord-m m] [-live]
-//	           [-live-mode replay|goroutine] [-format table|csv|json]
+//	           [-live-mode replay|goroutine] [-sweep-faults] [-format table|csv|json]
 //	           [-sweep-x 0,2,4] [-sweep-scale 1,1.5,2] [-sweep-rand 8:12:1,12:20:2]
 //	           [-cpuprofile file] [-memprofile file]
 //
@@ -30,9 +31,17 @@
 // engine — "replay" (the goroutine-free single-threaded drive, the default)
 // additionally opens the replay-only coord-heavy-m family (long-horizon
 // heavy-tail runs), while "goroutine" keeps the goroutine-per-process
-// environment as the differential oracle. The other -sweep-* flags add grid
+// environment as the differential oracle. -sweep-faults (with -sweep -live)
+// additionally opens the chaos axis: the coord-faulty family — seeded crash,
+// link-failure, deadline and chaos plans injected per cell — whose agents
+// must degrade gracefully (typed errors, withheld actions) rather than act
+// early or panic. The other -sweep-* flags add grid
 // axes beyond the registry: task-separation overrides, channel-bound
 // scaling factors and extra random-topology shapes (procs:extra:seed).
+// -faults injects a seeded fault plan of the named family into a
+// single-scenario -engine run; the offline cross-check then becomes a
+// safety audit (every act must satisfy its task on the faulted run) and the
+// report lists the injected violations and degraded agents.
 // -cpuprofile/-memprofile write pprof profiles of whatever the invocation
 // ran, so the hot-path claims in DESIGN.md are reproducible with
 // `go tool pprof`.
@@ -49,6 +58,7 @@ import (
 
 	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/faults"
 	"github.com/clockless/zigzag/internal/live"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/scenario"
@@ -76,6 +86,8 @@ func main() {
 		format   = flag.String("format", "table", "sweep output format: table, csv or json")
 		doLive   = flag.Bool("live", false, "with -sweep: add the multi-agent scenarios as live grid cells (Protocol2 agents on one shared engine per network)")
 		liveMode = flag.String("live-mode", "replay", "with -sweep -live: live cell execution — replay (goroutine-free, opens the coord-heavy-m family) or goroutine (the differential oracle)")
+		doFaults = flag.Bool("sweep-faults", false, "with -sweep -live: add the coord-faulty chaos family (seeded crash/link/deadline/chaos plans per cell)")
+		faultFam = flag.String("faults", "", "with -engine: inject a seeded fault plan of this family (crash, link, deadline or chaos) into the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 		sweepX   = flag.String("sweep-x", "", "comma-separated task-separation overrides as a sweep axis (e.g. 0,2,4; overrides -x for the sweep)")
@@ -97,6 +109,24 @@ func main() {
 	if !*doSweep && *doLive {
 		fmt.Fprintln(os.Stderr, "-live needs -sweep (single scenarios run live via -engine)")
 		os.Exit(2)
+	}
+	if *doFaults && (!*doSweep || !*doLive) {
+		fmt.Fprintln(os.Stderr, "-sweep-faults needs -sweep -live (faulted cells are live-only)")
+		os.Exit(2)
+	}
+	if *faultFam != "" {
+		if *doSweep {
+			fmt.Fprintln(os.Stderr, "-faults applies to single-scenario -engine runs; use -sweep-faults for the chaos grid")
+			os.Exit(2)
+		}
+		if *engine == "offline" {
+			fmt.Fprintln(os.Stderr, "-faults needs a live engine (-engine rebuild|online|shared): the offline analysis assumes an honest run")
+			os.Exit(2)
+		}
+		if !faults.ValidFamily(*faultFam) {
+			fmt.Fprintf(os.Stderr, "unknown fault family %q (want crash, link, deadline or chaos)\n", *faultFam)
+			os.Exit(2)
+		}
 	}
 	// Profiling wraps everything that does real work; exit replaces os.Exit
 	// below so error paths still flush the profiles.
@@ -124,7 +154,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			exit(2)
 		}
-		if err := runSweep(axes, *seeds, *workers, *format, *doLive, *liveMode); err != nil {
+		if err := runSweep(axes, *seeds, *workers, *format, *doLive, *liveMode, *doFaults); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit(1)
 		}
@@ -150,7 +180,7 @@ func main() {
 		exit(2)
 	}
 	if *engine != "offline" {
-		if err := runLiveScenario(sc, pol, *engine, *kind, *timeline, *dump); err != nil {
+		if err := runLiveScenario(sc, pol, *engine, *kind, *timeline, *dump, *faultFam, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit(1)
 		}
@@ -271,7 +301,15 @@ func startProfiles(cpu, mem string) (func(), error) {
 // graph, per-agent frontier handles) — and cross-checks every agent's act
 // against the offline optimum on the recorded run, which dump (when
 // non-empty) archives as JSON exactly like the offline path does.
-func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine, kind string, timeline int, dump string) error {
+//
+// With faultFam a seeded fault plan is injected. The offline-optimum
+// comparison would then falsely flag every degraded agent (an omniscient
+// analyzer of the recording is not bound by in-run detection), so the
+// cross-check becomes the chaos safety audit instead: every act an agent
+// DID perform must satisfy its task on the faulted run that actually
+// happened, and the report lists the injected violations, crashed
+// processes and degraded agents.
+func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine, kind string, timeline int, dump, faultFam string, seed int64) error {
 	switch engine {
 	case "rebuild", "online", "shared":
 	default:
@@ -298,6 +336,13 @@ func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine, kind string,
 	cfg := live.Config{
 		Net: sc.Net, Horizon: sc.Horizon, Policy: pol, Externals: sc.Externals,
 		Agents: agentMap,
+	}
+	if faultFam != "" {
+		plan, err := faults.NewPlan(faultFam, sc.Net, sc.Horizon, seed)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
 	}
 	switch engine {
 	case "rebuild":
@@ -327,8 +372,12 @@ func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine, kind string,
 		}
 		fmt.Printf("run written to %s\n", dump)
 	}
-	fmt.Printf("scenario %s under policy %s — live, engine=%s, %d agent(s)\n%s\n\n",
-		sc.Name, pol.Name(), engine, len(tasks), sc.Description)
+	faulted := ""
+	if faultFam != "" {
+		faulted = fmt.Sprintf(", faults=%s-s%d", faultFam, seed)
+	}
+	fmt.Printf("scenario %s under policy %s — live, engine=%s%s, %d agent(s)\n%s\n\n",
+		sc.Name, pol.Name(), engine, faulted, len(tasks), sc.Description)
 	names := make(map[model.ProcID]string, len(sc.Roles))
 	for role, p := range sc.Roles {
 		names[p] = role
@@ -337,6 +386,9 @@ func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine, kind string,
 	acts := make(map[string]live.Action, len(res.Actions))
 	for _, a := range res.Actions {
 		acts[a.Label] = a
+	}
+	if faultFam != "" {
+		return reportFaultedRun(tasks, agents, res, acts)
 	}
 	disagree := 0
 	for i := range tasks {
@@ -364,6 +416,48 @@ func runLiveScenario(sc *scenario.Scenario, pol sim.Policy, engine, kind string,
 	}
 	if disagree > 0 {
 		return fmt.Errorf("%d agent(s) disagree with the offline analysis", disagree)
+	}
+	return nil
+}
+
+// reportFaultedRun prints the chaos report of a fault-injected -engine run
+// and audits safety: every act performed must satisfy its task on the
+// faulted run (coord.Task.AuditAct), every internal agent error is fatal,
+// and the injected violations, crashed processes and degraded agents are
+// listed. Degraded agents withholding their action is the CORRECT outcome,
+// not a failure.
+func reportFaultedRun(tasks []coord.Task, agents []*live.Protocol2, res *live.Result, acts map[string]live.Action) error {
+	early := 0
+	for i := range tasks {
+		label := live.TaskLabel(i)
+		if err := agents[i].Err(); err != nil {
+			return fmt.Errorf("agent %s: %w", label, err)
+		}
+		act, acted := acts[label]
+		switch {
+		case acted:
+			verdict := "sound ✔"
+			if err := tasks[i].AuditAct(res.Run, act.Time); err != nil {
+				verdict = fmt.Sprintf("EARLY: %v", err)
+				early++
+			}
+			fmt.Printf("agent %s (%s, x=%d, B=%d): acted at t=%d — %s\n",
+				label, tasks[i].Kind, tasks[i].X, tasks[i].B, act.Time, verdict)
+		case agents[i].Degraded():
+			fmt.Printf("agent %s (%s, x=%d, B=%d): degraded, action withheld — %v\n",
+				label, tasks[i].Kind, tasks[i].X, tasks[i].B, agents[i].DegradeReason())
+		default:
+			fmt.Printf("agent %s (%s, x=%d, B=%d): never acted (condition not knowable before the horizon)\n",
+				label, tasks[i].Kind, tasks[i].X, tasks[i].B)
+		}
+	}
+	fmt.Printf("\nfaults: %d violation(s) injected, %d process(es) crashed, %d agent(s) degraded\n",
+		len(res.Violations), len(res.Crashed), len(res.Degraded))
+	for _, v := range res.Violations {
+		fmt.Printf("  %v\n", v)
+	}
+	if early > 0 {
+		return fmt.Errorf("%d agent(s) acted early on the faulted run — SAFETY VIOLATION", early)
 	}
 	return nil
 }
@@ -417,10 +511,13 @@ func parseAxes(x, coordM int, xsFlag, scalesFlag, randFlag string) (sweep.Axes, 
 // deterministic order, in the requested format. liveMode picks the live
 // cells' execution engine: "replay" (default) runs them goroutine-free and
 // additionally opens the replay-only long-horizon heavy-tail family;
-// "goroutine" keeps the goroutine-per-process oracle. The banner is only
+// "goroutine" keeps the goroutine-per-process oracle. doFaults adds the
+// coord-faulty chaos family: live-only cells that inject a seeded fault
+// plan per cell and must come back with typed violations and degraded
+// agents, never a cell error. The banner is only
 // printed for the human-readable table so that csv/json output can be piped
 // straight into figure scripts.
-func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, liveMode string) error {
+func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, liveMode string, doFaults bool) error {
 	if seeds < 1 {
 		return fmt.Errorf("sweep needs at least one seed, got %d", seeds)
 	}
@@ -459,6 +556,12 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, l
 			// heavy-tail coordination the goroutine mode can't afford.
 			grid.Live = append(grid.Live, scenario.ReplayFamily()...)
 		}
+		if doFaults {
+			// The chaos axis: every cell of these scenarios derives a fault
+			// plan from (family, seed) and injects it identically in every
+			// execution mode. Faulted cells bypass the prefix cache.
+			grid.Live = append(grid.Live, scenario.FaultyFamily()...)
+		}
 	}
 	for i := range grid.Seeds {
 		grid.Seeds[i] = int64(i + 1)
@@ -484,6 +587,18 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, l
 		if st.ReplayBatches > 0 {
 			fmt.Printf("replay: %d batch(es) driven through %d streamed chunk(s), goroutine-free\n",
 				st.ReplayBatches, st.ReplayChunks)
+		}
+	}
+	if format == "" || format == "table" {
+		violations, degraded, crashed := 0, 0, 0
+		for _, res := range results {
+			violations += res.Violations
+			degraded += res.Degraded
+			crashed += res.Crashed
+		}
+		if violations+degraded+crashed > 0 {
+			fmt.Printf("faults: %d violation(s) injected, %d process(es) crashed, %d agent(s) degraded — all typed, zero panics\n",
+				violations, crashed, degraded)
 		}
 	}
 	failed := 0

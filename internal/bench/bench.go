@@ -338,7 +338,10 @@ func sweepNetwork(m int, name string, shared bool) Case {
 					s := cellEng.NewRun()
 					for j := range sc.Tasks {
 						v := views[sc.Tasks[j].B]
-						h := s.NewHandle(v)
+						h, err := s.NewHandle(v)
+						if err != nil {
+							b.Fatal(err)
+						}
 						sigma := run.At(v.Origin())
 						if _, _, err := h.KnowledgeWeight(sigma, sigma); err != nil {
 							b.Fatal(err)
@@ -394,7 +397,10 @@ func sweepSeeded(m, seeds int, name string, prefix bool) Case {
 					}
 					for j := range sc.Tasks {
 						v := views[sc.Tasks[j].B]
-						h := s.NewHandle(v)
+						h, err := s.NewHandle(v)
+						if err != nil {
+							b.Fatal(err)
+						}
 						sigma := run.At(v.Origin())
 						if _, _, err := h.KnowledgeWeight(sigma, sigma); err != nil {
 							b.Fatal(err)

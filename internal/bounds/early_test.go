@@ -134,7 +134,7 @@ func TestSharedEarlyMatchesFreshBuild(t *testing.T) {
 		replayAll(t, r, observers, func(p model.ProcID, k int, v *run.View) {
 			h, ok := handles[p]
 			if !ok {
-				h = eng.NewHandle(v)
+				h = mustHandle(t, eng, v)
 				handles[p] = h
 			}
 			fresh, err := NewExtendedFromView(v)
@@ -185,7 +185,7 @@ func TestSharedEarlyAllocationGuard(t *testing.T) {
 	observers := map[model.ProcID]bool{2: true}
 	replayAll(t, r, observers, func(p model.ProcID, k int, v *run.View) {
 		if h == nil {
-			h = eng.NewHandle(v)
+			h = mustHandle(t, eng, v)
 			view = v
 		}
 	})

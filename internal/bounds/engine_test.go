@@ -157,7 +157,7 @@ func TestNetworkEngineMatchesFreshBuild(t *testing.T) {
 				}
 				h := handles[p]
 				if h == nil {
-					h = shared.NewHandle(v)
+					h = mustHandle(t, shared, v)
 					handles[p] = h
 				}
 				tag := fmt.Sprintf("%s run %d p%d#%d", name, runIdx, p, k)
@@ -208,7 +208,7 @@ func TestNetworkEngineRunIsolation(t *testing.T) {
 			live++
 			h := rs.handles[p]
 			if h == nil {
-				h = rs.shared.NewHandle(v)
+				h = mustHandle(t, rs.shared, v)
 				rs.handles[p] = h
 			}
 			tag := fmt.Sprintf("interleave run %d p%d#%d", i, p, k)
@@ -244,4 +244,15 @@ func TestNetworkEngineAllocationGuard(t *testing.T) {
 	if perRun > limit {
 		t.Errorf("NewRun allocates %.0f times per run, want <= %d", perRun, limit)
 	}
+}
+
+// mustHandle subscribes a view to a shared engine, failing the test on the
+// (programmer-error) network-mismatch path.
+func mustHandle(tb testing.TB, s *bounds.Shared, v *run.View) *bounds.Handle {
+	tb.Helper()
+	h, err := s.NewHandle(v)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h
 }

@@ -26,7 +26,7 @@ func driveRun(t *testing.T, tag string, shared *bounds.Shared, r *run.Run, obser
 		}
 		h := handles[p]
 		if h == nil {
-			h = shared.NewHandle(v)
+			h = mustHandle(t, shared, v)
 			handles[p] = h
 		}
 		diffAgainstFresh(t, fmt.Sprintf("%s p%d#%d", tag, p, k), h, v, maxQueries)
@@ -131,7 +131,7 @@ func TestPrefixEngineDonorSurvivesFreeze(t *testing.T) {
 		}
 		h := dh[p]
 		if h == nil {
-			h = donor.NewHandle(v)
+			h = mustHandle(t, donor, v)
 			dh[p] = h
 		}
 		if err := h.Sync(); err != nil {
@@ -169,7 +169,7 @@ func TestPrefixEngineDonorSurvivesFreeze(t *testing.T) {
 			live++
 			h := s.handles[p]
 			if h == nil {
-				h = s.shared.NewHandle(v)
+				h = mustHandle(t, s.shared, v)
 				s.handles[p] = h
 			}
 			diffAgainstFresh(t, fmt.Sprintf("side %d p%d#%d", i, p, k), h, v, 4)
@@ -267,7 +267,7 @@ func TestPrefixEngineAllocationGuard(t *testing.T) {
 			if v == nil {
 				v = run.NewLocalView(sc.Net, b.Proc)
 				views[b.Proc] = v
-				handles[b.Proc] = shared.NewHandle(v)
+				handles[b.Proc] = mustHandle(t, shared, v)
 			}
 			if _, err := v.Absorb(b.Receipts, b.Externals); err != nil {
 				t.Fatal(err)

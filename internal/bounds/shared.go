@@ -1,6 +1,7 @@
 package bounds
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -308,18 +309,23 @@ func (st *HandleStats) Add(other HandleStats) {
 // handles.
 func (h *Handle) Stats() HandleStats { return h.stats }
 
+// ErrViewMismatch reports a view subscribed to an engine of a structurally
+// different network.
+var ErrViewMismatch = errors.New("bounds: view of a different network")
+
 // NewHandle subscribes a growing view to the engine. The handle starts
 // empty and absorbs the view's current content on the first query; it must
-// observe every later state through the same View value. It panics if the
-// view lives in a structurally different network than the engine (a wiring
-// bug, like adding an edge to a foreign vertex); a distinct but
-// content-equal *model.Network value — sweeps rebuild equal topologies per
-// scenario variant — is accepted, since every table the engine derives
-// (channel ids, bounds, adjacency, dedup bits) is a function of the
-// network's content fingerprint.
-func (s *Shared) NewHandle(view *run.View) *Handle {
+// observe every later state through the same View value. It returns
+// ErrViewMismatch if the view lives in a structurally different network
+// than the engine (a wiring bug, like adding an edge to a foreign vertex);
+// a distinct but content-equal *model.Network value — sweeps rebuild equal
+// topologies per scenario variant — is accepted, since every table the
+// engine derives (channel ids, bounds, adjacency, dedup bits) is a function
+// of the network's content fingerprint.
+func (s *Shared) NewHandle(view *run.View) (*Handle, error) {
 	if vn := view.Net(); vn != s.eng.net && vn.Fingerprint() != s.eng.net.Fingerprint() {
-		panic("bounds: shared handle for a view of a different network")
+		return nil, fmt.Errorf("%w: view fingerprint %x, engine fingerprint %x",
+			ErrViewMismatch, view.Net().Fingerprint(), s.eng.net.Fingerprint())
 	}
 	s.mu.Lock()
 	standing := s.g.N()
@@ -347,7 +353,7 @@ func (s *Shared) NewHandle(view *run.View) *Handle {
 		h.vis[i] = true // the aux band is visible to every handle
 	}
 	h.scratch = s.eng.leaseScratch()
-	return h
+	return h, nil
 }
 
 // View returns the subscribed view.

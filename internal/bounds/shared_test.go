@@ -78,7 +78,7 @@ func TestSharedMatchesFreshBuild(t *testing.T) {
 		replayAll(t, r, observers, func(p model.ProcID, k int, v *run.View) {
 			h, ok := handles[p]
 			if !ok {
-				h = eng.NewHandle(v)
+				h = mustHandle(t, eng, v)
 				handles[p] = h
 				// A source queried both last and first around every state
 				// transition, so the warm-started restricted RelaxFrom path is
@@ -133,7 +133,7 @@ func TestSharedMatchesOnlinePerAgent(t *testing.T) {
 	onlines := make(map[model.ProcID]*Online)
 	replayAll(t, r, observers, func(p model.ProcID, k int, v *run.View) {
 		if handles[p] == nil {
-			handles[p] = eng.NewHandle(v)
+			handles[p] = mustHandle(t, eng, v)
 			onlines[p] = NewOnline(v)
 		}
 		for _, t1 := range queryNodes(v) {
@@ -164,7 +164,7 @@ func TestSharedQueriesAreRepeatable(t *testing.T) {
 	handles := make(map[model.ProcID]*Handle)
 	replayAll(t, r, observers, func(p model.ProcID, k int, v *run.View) {
 		if handles[p] == nil {
-			handles[p] = eng.NewHandle(v)
+			handles[p] = mustHandle(t, eng, v)
 		}
 		h := handles[p]
 		qs := queryNodes(v)
@@ -198,7 +198,7 @@ func TestSharedRejectsUnmodeledChannel(t *testing.T) {
 	}
 	receiver := run.NewLocalView(net, 2)
 	eng := NewShared(net)
-	h := eng.NewHandle(receiver)
+	h := mustHandle(t, eng, receiver)
 	if _, err := receiver.Absorb([]run.Receipt{{From: from, Payload: sender.Snapshot()}}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestSharedAllocationGuard(t *testing.T) {
 	observers := map[model.ProcID]bool{2: true}
 	replayAll(t, r, observers, func(p model.ProcID, k int, v *run.View) {
 		if h == nil {
-			h = eng.NewHandle(v)
+			h = mustHandle(t, eng, v)
 			view = v
 		}
 	})
@@ -271,7 +271,7 @@ func TestSharedScratchPool(t *testing.T) {
 	var h *Handle
 	replayAll(t, r, map[model.ProcID]bool{p: true}, func(_ model.ProcID, _ int, v *run.View) {
 		if h == nil {
-			h = eng.NewHandle(v)
+			h = mustHandle(t, eng, v)
 		}
 	})
 	sigma := run.At(h.View().Origin())
@@ -286,8 +286,19 @@ func TestSharedScratchPool(t *testing.T) {
 	if err2 != nil || known2 != known || kw2 != kw {
 		t.Fatalf("after release: (%d,%v,%v) vs (%d,%v,%v)", kw2, known2, err2, kw, known, err)
 	}
-	h2 := eng.NewHandle(h.View())
+	h2 := mustHandle(t, eng, h.View())
 	if kw3, known3, err3 := h2.KnowledgeWeight(theta, sigma); err3 != nil || known3 != known || kw3 != kw {
 		t.Fatalf("second handle: (%d,%v,%v) vs (%d,%v,%v)", kw3, known3, err3, kw, known, err)
 	}
+}
+
+// mustHandle subscribes a view to a shared engine, failing the test on the
+// (programmer-error) network-mismatch path.
+func mustHandle(tb testing.TB, s *Shared, v *run.View) *Handle {
+	tb.Helper()
+	h, err := s.NewHandle(v)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h
 }

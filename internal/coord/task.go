@@ -118,6 +118,36 @@ func (t Task) Wire(r *run.Run) (*Wiring, error) {
 	return &Wiring{SigmaC: sigmaC, ANode: aNode, ABasic: aBasic, ATime: aTime}, nil
 }
 
+// AuditAct checks, after the fact, that performing b at actTime satisfied
+// the task specification on the (possibly fault-injected) run that actually
+// happened. It is the safety oracle of the chaos sweeps: an agent whose
+// knowledge engine is sound never fails the audit, even when the
+// environment violated its bounds — a degraded-mode agent withholds instead
+// of acting, and an act that did happen was decided strictly before the
+// agent's taint frontier, where its view contained honest material only.
+func (t Task) AuditAct(r *run.Run, actTime model.Time) error {
+	w, err := t.Wire(r)
+	if err != nil {
+		return fmt.Errorf("%w: b performed but a's wiring failed: %v", ErrSpecViolated, err)
+	}
+	gap := int(actTime - w.ATime)
+	switch t.Kind {
+	case Late:
+		if gap < t.X {
+			return fmt.Errorf("%w: %v requires b >= a+%d, got gap %d (a at %d, b at %d)",
+				ErrSpecViolated, t.Kind, t.X, gap, w.ATime, actTime)
+		}
+	case Early:
+		if -gap < t.X {
+			return fmt.Errorf("%w: %v requires b <= a-%d, got gap %d (a at %d, b at %d)",
+				ErrSpecViolated, t.Kind, t.X, gap, w.ATime, actTime)
+		}
+	default:
+		return fmt.Errorf("coord: unknown task kind %d", int(t.Kind))
+	}
+	return nil
+}
+
 // Simulate runs the task's scenario: the configured network under the given
 // policy, with mu_go as the only external input.
 func (t Task) Simulate(net *model.Network, policy sim.Policy, horizon model.Time) (*run.Run, error) {

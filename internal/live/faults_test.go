@@ -1,0 +1,218 @@
+package live_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/faults"
+	"github.com/clockless/zigzag/internal/live"
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/scenario"
+	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/sweep"
+)
+
+// faultyPolicies are the policy families the faulted differential tests
+// cross with the plan families: the deterministic extreme and a seeded
+// random environment.
+func faultyPolicies() []sweep.PolicySpec {
+	return []sweep.PolicySpec{
+		{Name: "eager", New: func(int64) sim.Policy { return sim.Eager{} }},
+		{Name: "random", New: func(seed int64) sim.Policy { return sim.NewRandom(seed) }},
+	}
+}
+
+// faultedConfig assembles the live configuration of one faulted cell.
+func faultedConfig(t *testing.T, sc *scenario.Scenario, policy sim.Policy, seed int64,
+	agents map[model.ProcID]live.Agent) (live.Config, *faults.Plan) {
+	t.Helper()
+	plan, err := faults.NewPlan(sc.FaultFamily, sc.Net, sc.Horizon, seed)
+	if err != nil {
+		t.Fatalf("%s: NewPlan: %v", sc.Name, err)
+	}
+	return live.Config{
+		Net: sc.Net, Horizon: sc.Horizon, Policy: policy,
+		Externals: sc.Externals, Agents: agents, Faults: plan,
+	}, plan
+}
+
+// TestFaultedModesAgree pins the tentpole's byte-for-byte guarantee: for
+// every coord-faulty scenario, plan family and policy, the goroutine
+// environment, the replay drive and the offline simulator inject the
+// identical faults and agree on the recording's fingerprint, the violation
+// report, the crashed set, every agent action and every agent's Degraded
+// flag.
+func TestFaultedModesAgree(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	for _, sc := range scenario.FaultyFamily() {
+		for _, spec := range faultyPolicies() {
+			for _, seed := range seeds {
+				tag := sc.Name + "/" + spec.Name
+				tasks := sc.TaskList()
+
+				gAgents, gMap := live.NewTaskAgents(tasks)
+				gCfg, plan := faultedConfig(t, sc, spec.New(seed), seed, gMap)
+				gOut, err := live.Run(gCfg)
+				if err != nil {
+					t.Fatalf("%s seed %d: goroutine: %v", tag, seed, err)
+				}
+
+				rAgents, rMap := live.NewTaskAgents(tasks)
+				rCfg, _ := faultedConfig(t, sc, spec.New(seed), seed, rMap)
+				rOut, err := live.Replay(rCfg)
+				if err != nil {
+					t.Fatalf("%s seed %d: replay: %v", tag, seed, err)
+				}
+
+				sr, sRep, err := sim.SimulateFaulty(sim.Config{
+					Net: sc.Net, Horizon: sc.Horizon, Policy: spec.New(seed),
+					Externals: sc.Externals, Faults: plan,
+				})
+				if err != nil {
+					t.Fatalf("%s seed %d: sim: %v", tag, seed, err)
+				}
+
+				if g, r := gOut.Run.Fingerprint(), rOut.Run.Fingerprint(); g != r {
+					t.Fatalf("%s seed %d: goroutine fp %#x != replay fp %#x", tag, seed, g, r)
+				}
+				if g, s := gOut.Run.Fingerprint(), sr.Fingerprint(); g != s {
+					t.Fatalf("%s seed %d: live fp %#x != sim fp %#x", tag, seed, g, s)
+				}
+				if !reflect.DeepEqual(gOut.Actions, rOut.Actions) {
+					t.Fatalf("%s seed %d: actions differ:\n goroutine %v\n replay    %v",
+						tag, seed, gOut.Actions, rOut.Actions)
+				}
+				if !reflect.DeepEqual(gOut.Violations, rOut.Violations) ||
+					!reflect.DeepEqual(gOut.Violations, sRep.Violations) {
+					t.Fatalf("%s seed %d: violation reports differ across modes", tag, seed)
+				}
+				if !reflect.DeepEqual(gOut.Crashed, rOut.Crashed) ||
+					!reflect.DeepEqual(gOut.Crashed, sRep.Crashed) {
+					t.Fatalf("%s seed %d: crashed sets differ across modes", tag, seed)
+				}
+				if !reflect.DeepEqual(gOut.Degraded, rOut.Degraded) {
+					t.Fatalf("%s seed %d: degraded sets differ: goroutine %v, replay %v",
+						tag, seed, gOut.Degraded, rOut.Degraded)
+				}
+				for i := range gAgents {
+					if gAgents[i].Err() != nil || rAgents[i].Err() != nil {
+						t.Fatalf("%s seed %d: agent %s internal error (goroutine %v, replay %v) — violations must degrade, not error",
+							tag, seed, live.TaskLabel(i), gAgents[i].Err(), rAgents[i].Err())
+					}
+					if gd, rd := gAgents[i].Degraded(), rAgents[i].Degraded(); gd != rd {
+						t.Fatalf("%s seed %d: agent %s Degraded: goroutine %v, replay %v",
+							tag, seed, live.TaskLabel(i), gd, rd)
+					}
+					if gAgents[i].Degraded() {
+						if reason := gAgents[i].DegradeReason(); !errors.Is(reason, faults.ErrBoundViolation) {
+							t.Fatalf("%s seed %d: degrade reason %v does not wrap ErrBoundViolation",
+								tag, seed, reason)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFaultedNoEarlyActs is the chaos safety invariant: across every
+// coord-faulty scenario, plan family, policy and seed, every action any
+// agent performed satisfies its task specification on the faulted run that
+// actually happened — the environment lied, yet no agent acted early. The
+// test also requires the plans to have real teeth: across the sweep, faults
+// must fire (violations recorded) and degrade agents.
+func TestFaultedNoEarlyActs(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	totalViolations, totalDegraded, totalActs := 0, 0, 0
+	for _, sc := range scenario.FaultyFamily() {
+		for _, spec := range faultyPolicies() {
+			for _, seed := range seeds {
+				tasks := sc.TaskList()
+				_, agentMap := live.NewTaskAgents(tasks)
+				cfg, _ := faultedConfig(t, sc, spec.New(seed), seed, agentMap)
+				out, err := live.Replay(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", sc.Name, spec.Name, seed, err)
+				}
+				totalViolations += len(out.Violations)
+				totalDegraded += len(out.Degraded)
+				totalActs += len(out.Actions)
+				byLabel := make(map[string]int, len(tasks))
+				for i := range tasks {
+					byLabel[live.TaskLabel(i)] = i
+				}
+				for _, act := range out.Actions {
+					i, ok := byLabel[act.Label]
+					if !ok {
+						t.Fatalf("%s/%s seed %d: unknown action label %q", sc.Name, spec.Name, seed, act.Label)
+					}
+					if err := tasks[i].AuditAct(out.Run, act.Time); err != nil {
+						t.Fatalf("%s/%s seed %d: EARLY ACT by %s: %v", sc.Name, spec.Name, seed, act.Label, err)
+					}
+				}
+			}
+		}
+	}
+	if totalViolations == 0 {
+		t.Fatal("no plan injected a single violation: the chaos axis has no teeth")
+	}
+	if totalDegraded == 0 {
+		t.Fatal("no agent ever degraded: the degradation frontier never reached an agent")
+	}
+	if totalActs == 0 {
+		t.Fatal("no agent ever acted: the safety audit is vacuous")
+	}
+}
+
+// TestFaultedEnginesAgree pins engine-independence under faults: on every
+// faulted cell, agents answering through a per-run shared engine act and
+// degrade exactly like agents rebuilding a fresh bounds graph per state.
+// Healthy partitions of a faulted run must answer byte-identically to fresh
+// builds — a violated bound elsewhere cannot corrupt standing state.
+func TestFaultedEnginesAgree(t *testing.T) {
+	seeds := []int64{1, 2}
+	for _, sc := range scenario.FaultyFamily() {
+		eng := bounds.NewNetworkEngine(sc.Net)
+		for _, spec := range faultyPolicies() {
+			for _, seed := range seeds {
+				tag := sc.Name + "/" + spec.Name
+				tasks := sc.TaskList()
+
+				sAgents, sMap := live.NewTaskAgents(tasks)
+				sCfg, _ := faultedConfig(t, sc, spec.New(seed), seed, sMap)
+				sCfg.Engine = eng
+				sOut, err := live.Replay(sCfg)
+				if err != nil {
+					t.Fatalf("%s seed %d: shared: %v", tag, seed, err)
+				}
+
+				bAgents, bMap := live.NewTaskAgents(tasks)
+				for i := range bAgents {
+					bAgents[i].Rebuild = true
+				}
+				bCfg, _ := faultedConfig(t, sc, spec.New(seed), seed, bMap)
+				bOut, err := live.Replay(bCfg)
+				if err != nil {
+					t.Fatalf("%s seed %d: rebuild: %v", tag, seed, err)
+				}
+
+				if !reflect.DeepEqual(sOut.Actions, bOut.Actions) {
+					t.Fatalf("%s seed %d: engine-dependent actions:\n shared  %v\n rebuild %v",
+						tag, seed, sOut.Actions, bOut.Actions)
+				}
+				for i := range sAgents {
+					if sAgents[i].Err() != nil || bAgents[i].Err() != nil {
+						t.Fatalf("%s seed %d: agent %s internal error (shared %v, rebuild %v)",
+							tag, seed, live.TaskLabel(i), sAgents[i].Err(), bAgents[i].Err())
+					}
+					if sd, bd := sAgents[i].Degraded(), bAgents[i].Degraded(); sd != bd {
+						t.Fatalf("%s seed %d: agent %s Degraded: shared %v, rebuild %v",
+							tag, seed, live.TaskLabel(i), sd, bd)
+					}
+				}
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/faults"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/run"
 	"github.com/clockless/zigzag/internal/sim"
@@ -60,6 +61,18 @@ type Action struct {
 // such agent before its first state.
 type SharedUser interface {
 	UseShared(*bounds.Shared)
+}
+
+// Degradable is implemented by agents that support graceful degradation
+// under fault injection. When the environment determines that a process's
+// knowledge may rest on a violated communication bound — a claim about a
+// dropped, late or discarded message, or a promised delivery verifiably
+// past its deadline — it calls Degrade (from the process's own goroutine,
+// before OnState) with the typed reason, a faults.ErrBoundViolation wrap.
+// A degraded agent is expected to withhold further actions; Protocol2 does.
+// Degrade may be called repeatedly as the condition persists.
+type Degradable interface {
+	Degrade(reason error)
 }
 
 // Config parametrizes a live execution.
@@ -100,6 +113,15 @@ type Config struct {
 	// package default). Long-horizon runs stream through a chunk this size
 	// instead of materializing the whole schedule in memory.
 	ReplayChunk int
+	// Faults optionally injects a deterministic fault plan (crashes, dead
+	// links, missed deadlines) into the environment. Both execution modes
+	// apply the plan at identical hook points, so the recording, actions and
+	// degradation outcomes stay byte-identical between them — and identical
+	// to sim.Simulate with the same plan. Nil means the fault-free
+	// environment of the paper. Faulted executions should leave Fingerprint
+	// zero: their recordings are not legal runs and must bypass the
+	// standing-prefix cache.
+	Faults *faults.Plan
 }
 
 // Result is the outcome of a live execution.
@@ -119,6 +141,16 @@ type Result struct {
 	// for goroutine executions).
 	ReplayBatches int
 	ReplayChunks  int
+	// Violations lists every communication-bound violation the fault plan
+	// injected, as typed errors in canonical order (Config.Faults only).
+	Violations []*faults.Violation
+	// Degraded lists the agent-bearing processes that ended the run
+	// degraded — withholding actions because their knowledge may rest on a
+	// violated bound — in id order (Config.Faults only).
+	Degraded []model.ProcID
+	// Crashed lists the processes the plan halted within the horizon, in id
+	// order (Config.Faults only).
+	Crashed []model.ProcID
 }
 
 // execState is the engine wiring both execution modes share: Run and Replay
@@ -129,6 +161,7 @@ type execState struct {
 	shared    *bounds.Shared
 	stamped   bool // this execution stamped shared itself, so it commits it
 	prefixHit bool
+	inj       *faults.Injector // nil for fault-free executions
 }
 
 // prepare validates the configuration, resolves the policy, stamps the
@@ -144,6 +177,13 @@ func prepare(cfg Config) (*execState, error) {
 	st := &execState{policy: cfg.Policy, shared: cfg.Shared}
 	if st.policy == nil {
 		st.policy = sim.Eager{}
+	}
+	if cfg.Faults != nil {
+		inj, err := faults.NewInjector(cfg.Faults, cfg.Net, cfg.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		st.inj = inj
 	}
 	if st.shared == nil && cfg.Engine != nil {
 		if en := cfg.Engine.Net(); en != cfg.Net && en.Fingerprint() != cfg.Net.Fingerprint() {
@@ -166,12 +206,17 @@ func prepare(cfg Config) (*execState, error) {
 }
 
 // extTimetable validates the external schedule and slots it into
-// horizon-indexed buckets, exactly as sim.Simulate does.
-func extTimetable(cfg Config) ([][]run.ExternalEvent, error) {
+// horizon-indexed buckets, exactly as sim.Simulate does. Externals bound
+// for a process the fault plan has crashed by their delivery time are
+// skipped — they reach a halted process and create no batch in any mode.
+func extTimetable(cfg Config, st *execState) ([][]run.ExternalEvent, error) {
 	extAt := make([][]run.ExternalEvent, cfg.Horizon+1)
 	for _, e := range cfg.Externals {
 		if !cfg.Net.ValidProc(e.Proc) || e.Time < 1 || e.Time > cfg.Horizon {
 			return nil, fmt.Errorf("live: bad external %q to %d at %d", e.Label, e.Proc, e.Time)
+		}
+		if st.inj != nil && st.inj.Dead(e.Proc, e.Time) {
+			continue
 		}
 		extAt[e.Time] = append(extAt[e.Time], e)
 	}
@@ -196,6 +241,19 @@ func finish(cfg Config, st *execState, bl *run.Builder, res *Result) error {
 		st.shared.CommitPrefix()
 		res.PrefixHit = st.prefixHit
 	}
+	if st.inj != nil {
+		rep := st.inj.Report()
+		res.Violations = rep.Violations
+		res.Crashed = rep.Crashed
+		// Result.Degraded is about withheld actions, so restrict the
+		// injector's process-level frontier (already in id order) to the
+		// agent-bearing processes.
+		for _, p := range rep.Degraded {
+			if cfg.Agents[p] != nil {
+				res.Degraded = append(res.Degraded, p)
+			}
+		}
+	}
 	res.Run = r
 	return nil
 }
@@ -206,7 +264,10 @@ func finish(cfg Config, st *execState, bl *run.Builder, res *Result) error {
 type batch struct {
 	receipts  []run.Receipt
 	externals []string
-	reply     chan<- procReply
+	// degrade, when non-nil, tells the process its knowledge may rest on a
+	// violated bound: it is handed to a Degradable agent before OnState.
+	degrade error
+	reply   chan<- procReply
 }
 
 // procReply is what the process goroutine answers with.
@@ -255,6 +316,11 @@ func Run(cfg Config) (*Result, error) {
 					b.reply <- procReply{err: err}
 					continue
 				}
+				if b.degrade != nil {
+					if d, ok := agent.(Degradable); ok {
+						d.Degrade(b.degrade)
+					}
+				}
 				var actions []string
 				if agent != nil {
 					actions = agent.OnState(view, b.externals)
@@ -279,12 +345,16 @@ func Run(cfg Config) (*Result, error) {
 	// timetable, mirroring sim.Simulate.
 	arrivals := make([][]arrival, cfg.Horizon+1)
 	var free [][]arrival
-	extAt, err := extTimetable(cfg)
+	extAt, err := extTimetable(cfg, st)
 	if err != nil {
 		return nil, err
 	}
+	inj := st.inj
 
 	bl := run.NewBuilder(net, cfg.Horizon)
+	if inj != nil {
+		bl.Tolerate()
+	}
 	res := &Result{}
 
 	// Per-process slabs for the current tick, reused across ticks: the
@@ -330,8 +400,15 @@ func Run(cfg Config) (*Result, error) {
 				bl.Message(run.MessageEvent{
 					FromProc: a.from.Proc, ToProc: p, SendTime: a.send, RecvTime: t,
 				})
+				if inj != nil {
+					inj.Deliver(net.ChanIDOf(a.from.Proc, p), a.from.Proc, p, a.send, t)
+				}
 			}
-			inboxes[p-1] <- batch{receipts: receipts, externals: ext, reply: reply}
+			var degrade error
+			if inj != nil && inj.DegradedAt(p, t) {
+				degrade = inj.DegradeReason(p, t)
+			}
+			inboxes[p-1] <- batch{receipts: receipts, externals: ext, degrade: degrade, reply: reply}
 			pr := <-reply
 			if pr.err != nil {
 				return nil, fmt.Errorf("live: process %d: %w", p, pr.err)
@@ -342,12 +419,25 @@ func Run(cfg Config) (*Result, error) {
 			// FFIP flood: schedule the new state's messages straight off the
 			// dense out-arc slice, every one sharing the state's snapshot.
 			for _, a := range net.OutArcs(p) {
+				if inj != nil && inj.SendDrop(a.ID, p, a.To, t) {
+					continue
+				}
 				s := sim.Send{From: p, To: a.To, SendTime: t}
 				lat := policy.Latency(s, a.Bounds)
 				if lat < a.Bounds.Lower || lat > a.Bounds.Upper {
 					return nil, fmt.Errorf("live: policy %q chose latency %d outside %s", policy.Name(), lat, a.Bounds)
 				}
+				if inj != nil {
+					lat = inj.Delay(a.ID, p, a.To, t, lat)
+				}
 				if t+lat > cfg.Horizon {
+					continue
+				}
+				if inj != nil && inj.Dead(a.To, t+lat) {
+					// The crash schedule is static, so the discard is known
+					// at flood time: no mode ever materializes an arrival at
+					// a dead process.
+					inj.Discard(a.ID, p, a.To, t, t+lat)
 					continue
 				}
 				if arrivals[t+lat] == nil {

@@ -6,6 +6,8 @@ import (
 
 	"github.com/clockless/zigzag/internal/bounds"
 	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/faults"
+	"github.com/clockless/zigzag/internal/graph"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/run"
 )
@@ -41,10 +43,12 @@ type Protocol2 struct {
 	// instead of a private bounds.Online; it takes precedence over Rebuild.
 	Shared *bounds.Shared
 
-	acted  bool
-	err    error
-	engine *bounds.Online
-	handle *bounds.Handle
+	acted    bool
+	err      error
+	degraded bool
+	reason   error
+	engine   *bounds.Online
+	handle   *bounds.Handle
 }
 
 // TaskLabel is the canonical act label of the i-th task of a multi-agent
@@ -79,6 +83,32 @@ func (p *Protocol2) UseShared(s *bounds.Shared) {
 // queries are total on well-formed views, so this is nil in practice).
 func (p *Protocol2) Err() error { return p.err }
 
+// Degrade implements Degradable: the environment notifies the agent that
+// its knowledge may rest on a violated communication bound (or that a
+// promised delivery verifiably missed its deadline). From then on the agent
+// withholds its action permanently — acting on corrupted knowledge could
+// break the very precedence it exists to guarantee — and reports Degraded
+// instead. The first reason sticks; degrading an agent that already acted
+// only releases its engine resources (the act itself was sound: it happened
+// strictly before the agent's taint frontier).
+func (p *Protocol2) Degrade(reason error) {
+	if !p.degraded {
+		p.degraded = true
+		p.reason = reason
+	}
+	if p.handle != nil {
+		p.handle.Release()
+	}
+}
+
+// Degraded reports whether the agent has withheld its action after a
+// detected model violation.
+func (p *Protocol2) Degraded() bool { return p.degraded }
+
+// DegradeReason returns the typed error (wrapping faults.ErrBoundViolation)
+// the agent was degraded with, or nil.
+func (p *Protocol2) DegradeReason() error { return p.reason }
+
 // HandleStats returns the agent's reverse-cache counters, whichever engine
 // served it (zero for the rebuild baseline). The counters survive the
 // handle's Release, so post-run harvesting — sweep cells, the CLI footer —
@@ -102,7 +132,11 @@ func (p *Protocol2) knows(v *run.View, theta1, theta2 run.GeneralNode) (bool, er
 	switch {
 	case p.Shared != nil:
 		if p.handle == nil {
-			p.handle = p.Shared.NewHandle(v)
+			h, err := p.Shared.NewHandle(v)
+			if err != nil {
+				return false, err
+			}
+			p.handle = h
 		} else if p.handle.View() != v {
 			return false, errDifferentView
 		}
@@ -128,7 +162,7 @@ func (p *Protocol2) knows(v *run.View, theta1, theta2 run.GeneralNode) (bool, er
 
 // OnState implements Agent.
 func (p *Protocol2) OnState(v *run.View, _ []string) []string {
-	if p.acted || p.err != nil {
+	if p.acted || p.err != nil || p.degraded {
 		return nil
 	}
 	label := p.Task.GoLabel
@@ -149,6 +183,18 @@ func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 	}
 	knows, err := p.knows(v, theta1, theta2)
 	if err != nil {
+		if errors.Is(err, graph.ErrPositiveCycle) {
+			// The engine refuted a communication bound from the view's own
+			// structure: some promised delivery verifiably failed to arrive in
+			// its window. That is the agent DETECTING a model violation, not an
+			// internal failure — degrade exactly as if the environment had
+			// flagged it. (The injector's taint frontier normally flags the
+			// agent first; this is the belt-and-braces path for violation
+			// shapes the agent can refute by inference alone.)
+			p.Degrade(fmt.Errorf("%w: agent's knowledge graph refutes a channel bound: %v",
+				faults.ErrBoundViolation, err))
+			return nil
+		}
 		p.err = err
 		return nil
 	}

@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 
+	"github.com/clockless/zigzag/internal/faults"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/run"
 	"github.com/clockless/zigzag/internal/sim"
@@ -39,6 +40,10 @@ type replayBatch struct {
 	// only when some receiver will actually consume the payload, and can
 	// drop the snapshot the moment its last arrival is absorbed.
 	floods int
+	// degraded marks that the fault injector's taint frontier covers this
+	// batch: the driver degrades the agent before OnState, exactly when the
+	// goroutine environment would.
+	degraded bool
 }
 
 // replayChunk is the streaming buffer between recorder and driver. All three
@@ -67,6 +72,7 @@ type recorder struct {
 	policy sim.Policy
 	bl     *run.Builder
 	hor    model.Time
+	inj    *faults.Injector // nil for fault-free executions
 
 	arrivals [][]recArrival // horizon-indexed buckets
 	free     [][]recArrival // recycled bucket backing
@@ -86,16 +92,17 @@ type recArrival struct {
 	send   model.Time
 }
 
-func newRecorder(cfg Config, policy sim.Policy, bl *run.Builder) (*recorder, error) {
-	extAt, err := extTimetable(cfg)
+func newRecorder(cfg Config, st *execState, bl *run.Builder) (*recorder, error) {
+	extAt, err := extTimetable(cfg, st)
 	if err != nil {
 		return nil, err
 	}
 	n := cfg.Net.N()
 	return &recorder{
 		net:      cfg.Net,
-		policy:   policy,
+		policy:   st.policy,
 		bl:       bl,
+		inj:      st.inj,
 		hor:      cfg.Horizon,
 		arrivals: make([][]recArrival, cfg.Horizon+1),
 		extAt:    extAt,
@@ -149,6 +156,9 @@ func (rc *recorder) fill(c *replayChunk, limit int) error {
 				rc.bl.Message(run.MessageEvent{
 					FromProc: a.from.Proc, ToProc: p, SendTime: a.send, RecvTime: t,
 				})
+				if rc.inj != nil {
+					rc.inj.Deliver(net.ChanIDOf(a.from.Proc, p), a.from.Proc, p, a.send, t)
+				}
 			}
 			ext0 := len(c.exts)
 			c.exts = append(c.exts, ext...)
@@ -163,12 +173,26 @@ func (rc *recorder) fill(c *replayChunk, limit int) error {
 			// stay within the horizon.
 			floods := 0
 			for _, a := range net.OutArcs(p) {
+				if rc.inj != nil && rc.inj.SendDrop(a.ID, p, a.To, t) {
+					continue
+				}
 				s := sim.Send{From: p, To: a.To, SendTime: t}
 				lat := rc.policy.Latency(s, a.Bounds)
 				if lat < a.Bounds.Lower || lat > a.Bounds.Upper {
 					return fmt.Errorf("live: policy %q chose latency %d outside %s", rc.policy.Name(), lat, a.Bounds)
 				}
+				if rc.inj != nil {
+					lat = rc.inj.Delay(a.ID, p, a.To, t, lat)
+				}
 				if t+lat > rc.hor {
+					continue
+				}
+				if rc.inj != nil && rc.inj.Dead(a.To, t+lat) {
+					// Static crash schedule: discard at flood time, exactly
+					// as Run and sim do, so the flood count the driver's
+					// snapshot refcounting relies on never includes an
+					// arrival that will not be driven.
+					rc.inj.Discard(a.ID, p, a.To, t, t+lat)
 					continue
 				}
 				if rc.arrivals[t+lat] == nil {
@@ -189,7 +213,8 @@ func (rc *recorder) fill(c *replayChunk, limit int) error {
 				proc: p, time: t, node: node,
 				arr0: arr0, arr1: len(c.arrivals),
 				ext0: ext0, ext1: len(c.exts),
-				floods: floods,
+				floods:   floods,
+				degraded: rc.inj != nil && rc.inj.DegradedAt(p, t),
 			})
 		}
 	}
@@ -219,6 +244,7 @@ type snapEntry struct {
 // before the later one's batch stores into the slot.
 type driver struct {
 	cfg      Config
+	inj      *faults.Injector
 	views    []*run.View
 	agents   []Agent
 	rings    [][]snapEntry
@@ -226,7 +252,7 @@ type driver struct {
 	res      *Result
 }
 
-func newDriver(cfg Config, res *Result) *driver {
+func newDriver(cfg Config, st *execState, res *Result) *driver {
 	n := cfg.Net.N()
 	views := make([]*run.View, n)
 	agents := make([]Agent, n)
@@ -240,6 +266,11 @@ func newDriver(cfg Config, res *Result) *driver {
 			maxU = a.Bounds.Upper
 		}
 	}
+	if st.inj != nil {
+		// Deadline faults deliver up to MaxSlack ticks past an arc's upper
+		// bound; the ring must keep states alive that much longer.
+		maxU += st.inj.MaxSlack()
+	}
 	ringBacking := make([]snapEntry, n*(maxU+1))
 	rings := make([][]snapEntry, n)
 	for i := range rings {
@@ -247,6 +278,7 @@ func newDriver(cfg Config, res *Result) *driver {
 	}
 	return &driver{
 		cfg:      cfg,
+		inj:      st.inj,
 		views:    views,
 		agents:   agents,
 		rings:    rings,
@@ -283,6 +315,11 @@ func (d *driver) drive(c *replayChunk) error {
 				b.node, b.proc, node)
 		}
 		if agent := d.agents[b.proc-1]; agent != nil {
+			if b.degraded {
+				if dg, ok := agent.(Degradable); ok {
+					dg.Degrade(d.inj.DegradeReason(b.proc, b.time))
+				}
+			}
 			for _, label := range agent.OnState(view, ext) {
 				d.res.Actions = append(d.res.Actions, Action{Proc: b.proc, Node: node, Time: b.time, Label: label})
 			}
@@ -315,12 +352,15 @@ func Replay(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	bl := run.NewBuilder(cfg.Net, cfg.Horizon)
-	rec, err := newRecorder(cfg, st.policy, bl)
+	if st.inj != nil {
+		bl.Tolerate()
+	}
+	rec, err := newRecorder(cfg, st, bl)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
-	drv := newDriver(cfg, res)
+	drv := newDriver(cfg, st, res)
 
 	limit := cfg.ReplayChunk
 	if limit <= 0 {

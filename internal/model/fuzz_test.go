@@ -1,0 +1,113 @@
+package model_test
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/model"
+)
+
+// fuzzArc is one decoded channel declaration.
+type fuzzArc struct {
+	from, to     model.ProcID
+	lower, upper int
+}
+
+// decodeArcs turns the fuzz input into a process count and a channel list.
+// Bounds are kept small and non-degenerate often enough that most inputs
+// build; invalid declarations (self-loops, duplicates, bad bounds) are the
+// fuzzer's job to find and Build's job to reject — never to panic on.
+func decodeArcs(data []byte) (int, []fuzzArc) {
+	if len(data) < 1 {
+		return 0, nil
+	}
+	n := int(data[0])%6 + 1
+	var arcs []fuzzArc
+	for i := 1; i+3 < len(data); i += 4 {
+		arcs = append(arcs, fuzzArc{
+			from:  model.ProcID(int(data[i])%8 + 1),
+			to:    model.ProcID(int(data[i+1])%8 + 1),
+			lower: int(data[i+2]) % 5,
+			upper: int(data[i+3]) % 7,
+		})
+	}
+	return n, arcs
+}
+
+func buildNet(n int, arcs []fuzzArc) (*model.Network, error) {
+	b := model.NewBuilder(n)
+	for _, a := range arcs {
+		b.Chan(a.from, a.to, a.lower, a.upper)
+	}
+	return b.Build()
+}
+
+// FuzzNetworkFingerprint checks the content-addressing contract of
+// Network.Fingerprint on arbitrary topologies: declaration order never
+// changes the fingerprint, the fingerprint is never the zero sentinel, and
+// perturbing any single channel bound changes it. Caches keyed by the
+// fingerprint (sweep engine maps, the standing-prefix tier) rely on exactly
+// these properties.
+func FuzzNetworkFingerprint(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 1, 2, 1, 2, 1, 2, 2, 0, 1, 2})
+	f.Add([]byte{5, 0, 1, 0, 3, 1, 0, 2, 2, 2, 3, 1, 1, 3, 4, 0, 5})
+	f.Add([]byte{1, 0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			return
+		}
+		n, arcs := decodeArcs(data)
+		if n == 0 {
+			return
+		}
+		net, err := buildNet(n, arcs)
+		if err != nil {
+			// Invalid declaration (bad proc, self-loop, duplicate, bad
+			// bounds): a typed error is the contract; nothing to fingerprint.
+			return
+		}
+		fp := net.Fingerprint()
+		if fp == 0 {
+			t.Fatal("fingerprint is the zero no-fingerprint sentinel")
+		}
+
+		// Declaration order must not matter: rebuild with the arcs reversed.
+		rev := make([]fuzzArc, len(arcs))
+		for i, a := range arcs {
+			rev[len(arcs)-1-i] = a
+		}
+		net2, err := buildNet(n, rev)
+		if err != nil {
+			t.Fatalf("reversed declaration failed to build: %v", err)
+		}
+		if fp2 := net2.Fingerprint(); fp2 != fp {
+			t.Fatalf("declaration order changed fingerprint: %#x vs %#x", fp, fp2)
+		}
+
+		// Perturbing one channel's upper bound must change the fingerprint.
+		if len(arcs) > 0 {
+			bumped := make([]fuzzArc, len(arcs))
+			copy(bumped, arcs)
+			bumped[0].upper++
+			net3, err := buildNet(n, bumped)
+			if err != nil {
+				t.Fatalf("bumped bound failed to build: %v", err)
+			}
+			if net3.Fingerprint() == fp {
+				t.Fatalf("bumping a bound left fingerprint %#x unchanged", fp)
+			}
+		}
+
+		// Shrinking the topology must change the fingerprint too: drop the
+		// last channel (still valid — removing a channel cannot introduce an
+		// error).
+		if len(arcs) > 0 {
+			net4, err := buildNet(n, arcs[:len(arcs)-1])
+			if err != nil {
+				t.Fatalf("dropped channel failed to build: %v", err)
+			}
+			if net4.Fingerprint() == fp {
+				t.Fatalf("dropping a channel left fingerprint %#x unchanged", fp)
+			}
+		}
+	})
+}

@@ -354,8 +354,12 @@ func (net *Network) ChanBounds(from, to ProcID) (Bounds, error) {
 	return net.arcs[id].Bounds, nil
 }
 
-// Lower returns L_{from,to}; it panics if the channel does not exist
-// (channel existence is a structural invariant the caller must hold).
+// Lower returns L_{from,to}; it panics if the channel does not exist.
+// Channel existence is a structural invariant the caller must hold — the
+// in-tree callers all read bounds of deliveries a validated run or view
+// already proved exist. Code handling unvalidated input (user-supplied
+// plans, decoded traces, fuzzed paths) must use ChanBounds, which returns
+// ErrNoChannel instead.
 func (net *Network) Lower(from, to ProcID) int {
 	bd, err := net.ChanBounds(from, to)
 	if err != nil {
@@ -364,7 +368,9 @@ func (net *Network) Lower(from, to ProcID) int {
 	return bd.Lower
 }
 
-// Upper returns U_{from,to}; it panics if the channel does not exist.
+// Upper returns U_{from,to}; it panics if the channel does not exist — the
+// same invariant contract as Lower. ChanBounds is the error-returning API
+// for unvalidated input.
 func (net *Network) Upper(from, to ProcID) int {
 	bd, err := net.ChanBounds(from, to)
 	if err != nil {

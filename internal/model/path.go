@@ -131,7 +131,10 @@ func (net *Network) UpperSum(p Path) (int, error) {
 	return sum, nil
 }
 
-// MustLowerSum is LowerSum that panics on error.
+// MustLowerSum is LowerSum that panics on error: for paths whose validity
+// the caller has already established (witness verification re-walks paths a
+// checked zigzag produced). Rendering and other consumers of possibly
+// hand-built patterns use LowerSum and surface the error.
 func (net *Network) MustLowerSum(p Path) int {
 	v, err := net.LowerSum(p)
 	if err != nil {
@@ -140,7 +143,8 @@ func (net *Network) MustLowerSum(p Path) int {
 	return v
 }
 
-// MustUpperSum is UpperSum that panics on error.
+// MustUpperSum is UpperSum that panics on error — the same contract as
+// MustLowerSum.
 func (net *Network) MustUpperSum(p Path) int {
 	v, err := net.UpperSum(p)
 	if err != nil {

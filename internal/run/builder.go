@@ -34,6 +34,7 @@ type Builder struct {
 	horizon  model.Time
 	messages []MessageEvent
 	externs  []ExternalEvent
+	tolerant bool
 }
 
 // NewBuilder returns a Builder for runs over net recorded up to horizon.
@@ -50,6 +51,18 @@ func (bl *Builder) Message(ev MessageEvent) *Builder {
 // External appends an external-input event.
 func (bl *Builder) External(ev ExternalEvent) *Builder {
 	bl.externs = append(bl.externs, ev)
+	return bl
+}
+
+// Tolerate relaxes Build's per-delivery latency-window check to latency >= 1,
+// admitting recordings of fault-injected executions whose deliveries may
+// violate their channel's [L, U] bounds (internal/faults deadline plans).
+// All structural checks — channels exist, nodes exist, no duplicate sends,
+// horizon — still apply; dropped messages simply surface as Pending. Such a
+// run will generally fail Validate, which is the point: the faults injector,
+// not the builder, owns violation accounting for faulted runs.
+func (bl *Builder) Tolerate() *Builder {
+	bl.tolerant = true
 	return bl
 }
 
@@ -155,7 +168,11 @@ func (bl *Builder) Build() (*Run, error) {
 		d := Delivery{From: from, To: to, SendTime: ev.SendTime, RecvTime: ev.RecvTime, Chan: cid}
 		bd := bl.net.BoundsOf(cid)
 		lat := ev.RecvTime - ev.SendTime
-		if lat < bd.Lower || lat > bd.Upper {
+		if bl.tolerant {
+			if lat < 1 {
+				return nil, fmt.Errorf("%w: %s latency %d < 1", ErrBadDelivery, d, lat)
+			}
+		} else if lat < bd.Lower || lat > bd.Upper {
 			return nil, fmt.Errorf("%w: %s latency %d outside %s", ErrBadDelivery, d, lat, bd)
 		}
 		key := sentKey{from: from, to: ev.ToProc}

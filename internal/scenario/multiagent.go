@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/faults"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/sim"
 	"github.com/clockless/zigzag/internal/workload"
@@ -148,4 +149,36 @@ func MultiAgentHeavy(m int) *Scenario {
 // heavy-tail coordination at a small and a large agent count.
 func ReplayFamily() []*Scenario {
 	return []*Scenario{MultiAgentHeavy(4), MultiAgentHeavy(16)}
+}
+
+// MultiAgentFaulty builds the coord-faulty-m<m>-<family> scenario: the
+// topology and tasks of MultiAgent(m) with a fault plan of the named
+// faults.NewPlan family injected per seed. Sweep cells running it exercise
+// graceful degradation: crashed processes go silent, Protocol2 agents
+// behind the taint frontier withhold their action and report Degraded, and
+// every injected bound violation surfaces as a typed error in the cell
+// result — never a panic, never an early act.
+func MultiAgentFaulty(m int, family string) *Scenario {
+	sc := MultiAgent(m)
+	sc.Name = fmt.Sprintf("coord-faulty-m%d-%s", m, family)
+	sc.Description = fmt.Sprintf(
+		"fault-injected coordination (%s plans): %d concurrent Protocol2 agents (n=%d, %d channels) under graceful degradation",
+		family, m, sc.Net.N(), sc.Net.NumChannels())
+	sc.FaultFamily = family
+	return sc
+}
+
+// FaultyFamily returns the chaos-sweep scenario family: fault-injected
+// coordination at a small and a large agent count, across every seeded plan
+// family (crash, link, deadline, chaos). Like ReplayFamily it is NOT in the
+// registry — faulted cells are live-only and the CLI appends the family to
+// the live grid under -sweep-faults.
+func FaultyFamily() []*Scenario {
+	out := make([]*Scenario, 0, 2*len(faults.Families()))
+	for _, m := range []int{4, 16} {
+		for _, fam := range faults.Families() {
+			out = append(out, MultiAgentFaulty(m, fam))
+		}
+	}
+	return out
 }

@@ -32,6 +32,12 @@ type Scenario struct {
 	Tasks []coord.Task
 	// DefaultPolicy drives the canonical run of the figure; nil means Eager.
 	DefaultPolicy sim.Policy
+	// FaultFamily, when non-empty, names the faults.NewPlan family a sweep
+	// cell injects into this scenario's executions (the plan itself is
+	// derived per seed, so one scenario covers the whole seed axis). Faulted
+	// cells run live-only and bypass the standing-prefix cache — their
+	// recordings are not legal runs.
+	FaultFamily string
 }
 
 // TaskList returns the scenario's concurrent coordination tasks, falling

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/clockless/zigzag/internal/faults"
 	"github.com/clockless/zigzag/internal/model"
 	"github.com/clockless/zigzag/internal/run"
 )
@@ -19,6 +20,11 @@ type Config struct {
 	// Externals is the schedule of spontaneous external inputs. Each is
 	// delivered to its process at its time (time >= 1).
 	Externals []run.ExternalEvent
+	// Faults optionally injects a fault plan (crashes, dead links, missed
+	// deadlines) into the environment. The recorded run then reflects the
+	// violated model — use SimulateFaulty to also obtain the violation
+	// report. Nil means the fault-free environment of the paper.
+	Faults *faults.Plan
 }
 
 // ErrBadConfig reports an unusable simulation configuration.
@@ -34,17 +40,47 @@ var ErrBadConfig = errors.New("sim: bad configuration")
 //     window, at the instant chosen by the Policy;
 //   - initial nodes never act, so with no externals nothing ever happens.
 //
-// The returned run always passes (*run.Run).Validate.
+// Without cfg.Faults the returned run always passes (*run.Run).Validate.
+// With a fault plan the environment deviates exactly as the plan dictates
+// and the recording reflects the violated model; use SimulateFaulty for the
+// accompanying violation report.
 func Simulate(cfg Config) (*run.Run, error) {
+	r, _, err := simulate(cfg)
+	return r, err
+}
+
+// SimulateFaulty is Simulate for fault-injected configurations: alongside
+// the recorded run it returns the injector's settled report — every bound
+// violation as a typed error plus the crashed and degraded process sets.
+// With a nil cfg.Faults the report is empty but non-nil.
+func SimulateFaulty(cfg Config) (*run.Run, *faults.Report, error) {
+	r, inj, err := simulate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if inj == nil {
+		return r, &faults.Report{}, nil
+	}
+	return r, inj.Report(), nil
+}
+
+func simulate(cfg Config) (*run.Run, *faults.Injector, error) {
 	if cfg.Net == nil {
-		return nil, fmt.Errorf("%w: nil network", ErrBadConfig)
+		return nil, nil, fmt.Errorf("%w: nil network", ErrBadConfig)
 	}
 	if cfg.Horizon < 1 {
-		return nil, fmt.Errorf("%w: horizon %d < 1", ErrBadConfig, cfg.Horizon)
+		return nil, nil, fmt.Errorf("%w: horizon %d < 1", ErrBadConfig, cfg.Horizon)
 	}
 	policy := cfg.Policy
 	if policy == nil {
 		policy = Eager{}
+	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		var err error
+		if inj, err = faults.NewInjector(cfg.Faults, cfg.Net, cfg.Horizon); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// arrivals[t] lists internal messages scheduled to arrive at time t:
@@ -55,34 +91,54 @@ func Simulate(cfg Config) (*run.Run, error) {
 	extAt := make([][]run.ExternalEvent, cfg.Horizon+1)
 	for _, ev := range cfg.Externals {
 		if !cfg.Net.ValidProc(ev.Proc) {
-			return nil, fmt.Errorf("%w: external %q to process %d", ErrBadConfig, ev.Label, ev.Proc)
+			return nil, nil, fmt.Errorf("%w: external %q to process %d", ErrBadConfig, ev.Label, ev.Proc)
 		}
 		if ev.Time < 1 || ev.Time > cfg.Horizon {
-			return nil, fmt.Errorf("%w: external %q at time %d outside [1,%d]",
+			return nil, nil, fmt.Errorf("%w: external %q at time %d outside [1,%d]",
 				ErrBadConfig, ev.Label, ev.Time, cfg.Horizon)
+		}
+		if inj != nil && inj.Dead(ev.Proc, ev.Time) {
+			continue // delivered into a crashed process: no batch, no node
 		}
 		extAt[ev.Time] = append(extAt[ev.Time], ev)
 	}
 
 	bl := run.NewBuilder(cfg.Net, cfg.Horizon)
+	if inj != nil {
+		bl.Tolerate()
+	}
 	n := cfg.Net.N()
 	var free [][]Send
 
 	// send floods the history of process p at time t on all outgoing
 	// channels, scheduling each delivery per the policy. The per-process arc
 	// slice carries destination and bounds together, so the loop is one
-	// contiguous read with no per-channel lookups.
+	// contiguous read with no per-channel lookups. The fault hooks mirror
+	// the live environment loops exactly: dead-link drops and deadline
+	// delays act on the policy's schedule, and messages to destinations the
+	// (static) plan has crashed by arrival are discarded here at flood time,
+	// so no mode ever materializes an arrival at a dead process.
 	send := func(p model.ProcID, t model.Time) error {
 		arcs := cfg.Net.OutArcs(p)
 		for _, a := range arcs {
+			if inj != nil && inj.SendDrop(a.ID, p, a.To, t) {
+				continue
+			}
 			s := Send{From: p, To: a.To, SendTime: t}
 			lat := policy.Latency(s, a.Bounds)
 			if err := validateLatency(policy, s, a.Bounds, lat); err != nil {
 				return err
 			}
+			if inj != nil {
+				lat = inj.Delay(a.ID, p, a.To, t, lat)
+			}
 			rt := t + lat
 			if rt > cfg.Horizon {
 				continue // in transit at the horizon; recorded as pending
+			}
+			if inj != nil && inj.Dead(a.To, rt) {
+				inj.Discard(a.ID, p, a.To, t, rt)
+				continue
 			}
 			if arrivals[rt] == nil {
 				if len(free) > 0 {
@@ -109,6 +165,9 @@ func Simulate(cfg Config) (*run.Run, error) {
 				SendTime: s.SendTime,
 				RecvTime: t,
 			})
+			if inj != nil {
+				inj.Deliver(cfg.Net.ChanIDOf(s.From, s.To), s.From, s.To, s.SendTime, t)
+			}
 			received[s.To] = true
 			active = true
 		}
@@ -130,12 +189,16 @@ func Simulate(cfg Config) (*run.Run, error) {
 			if received[p] {
 				received[p] = false
 				if err := send(p, t); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 		}
 	}
-	return bl.Build()
+	r, err := bl.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, inj, nil
 }
 
 // MustSimulate is Simulate that panics on error; intended for fixtures.

@@ -25,6 +25,7 @@ var csvHeader = []string{
 	"prefix_hits", "prefix_misses",
 	"rev_hits", "rev_rebuilds", "band_refreshes", "rev_relaxations",
 	"replay_batches", "replay_chunks",
+	"degraded", "crashed", "violations", "err",
 }
 
 // WriteCSV renders aggregates as CSV in the given order, one row per
@@ -51,6 +52,7 @@ func WriteCSV(w io.Writer, aggs []Aggregate) error {
 			strconv.FormatInt(a.Rev.RevHits, 10), strconv.FormatInt(a.Rev.RevRebuilds, 10),
 			strconv.FormatInt(a.Rev.BandRefreshes, 10), strconv.FormatInt(a.Rev.RevRelaxations, 10),
 			strconv.Itoa(a.ReplayBatches), strconv.Itoa(a.ReplayChunks),
+			strconv.Itoa(a.Degraded), strconv.Itoa(a.Crashed), strconv.Itoa(a.Violations), a.FirstErr,
 		}
 		if a.Acted > 0 {
 			row[17] = f(a.Gap.Mean)

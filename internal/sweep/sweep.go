@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 
 	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/faults"
 	"github.com/clockless/zigzag/internal/live"
 	"github.com/clockless/zigzag/internal/scenario"
 	"github.com/clockless/zigzag/internal/sim"
@@ -154,6 +155,15 @@ type Result struct {
 	// goroutine-mode cells).
 	ReplayBatches int
 	ReplayChunks  int
+
+	// Fault-injected cell outcome (scenarios with a FaultFamily): agents
+	// that ended the run degraded (withholding their action after a detected
+	// bound violation), processes the plan crashed, and the injected
+	// violations — every one a typed error, recovered into the cell result
+	// rather than aborting the sweep.
+	Degraded   int
+	Crashed    int
+	Violations int
 }
 
 // Result.Prefix values.
@@ -232,7 +242,9 @@ func (g Grid) RunWithEngines() ([]Result, EngineReport, error) {
 	var jobList [][]int
 	for i := range all {
 		all[i] = i
-		if sc, spec, _, isLive := g.decode(i); isLive && spec.Deterministic {
+		// Faulted cells never join a deterministic block: their recordings
+		// are not legal runs and must bypass the standing-prefix cache.
+		if sc, spec, _, isLive := g.decode(i); isLive && spec.Deterministic && sc.FaultFamily == "" {
 			fp := sc.Net.Fingerprint()
 			if blocks[fp] == nil {
 				blockOrder = append(blockOrder, fp)
@@ -342,14 +354,27 @@ func (fm *fpMemo) fingerprint(sc *scenario.Scenario, spec PolicySpec, seed int64
 	return fp, nil
 }
 
-// cell runs the i-th cell of the enumeration.
-func (g Grid) cell(i int, engines map[uint64]*bounds.NetworkEngine, memo *fpMemo) Result {
+// cell runs the i-th cell of the enumeration. A panic escaping the cell —
+// a malformed scenario, a bug surfaced by an adversarial fault plan — is
+// recovered into the cell's Err, so one bad cell degrades one row of the
+// grid instead of killing the whole sweep.
+func (g Grid) cell(i int, engines map[uint64]*bounds.NetworkEngine, memo *fpMemo) (res Result) {
 	sc, spec, seed, isLive := g.decode(i)
+	defer func() {
+		if r := recover(); r != nil {
+			mode := ModeSim
+			if isLive {
+				mode = g.liveMode()
+			}
+			res = Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed,
+				Mode: mode, Err: fmt.Errorf("sweep: cell panicked: %v", r)}
+		}
+	}()
 	if isLive {
 		return liveCell(sc, spec, seed, g.liveMode(), engines[sc.Net.Fingerprint()], memo)
 	}
 
-	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: ModeSim}
+	res = Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: ModeSim}
 	r, err := sc.Simulate(spec.New(seed))
 	if err != nil {
 		res.Err = err
@@ -388,8 +413,17 @@ func (g Grid) cell(i int, engines map[uint64]*bounds.NetworkEngine, memo *fpMemo
 // recordings and actions, so everything below the dispatch is shared.
 func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, mode string, eng *bounds.NetworkEngine, memo *fpMemo) Result {
 	res := Result{Scenario: sc.Name, Policy: spec.Name, Seed: seed, Mode: mode}
+	var plan *faults.Plan
+	if sc.FaultFamily != "" {
+		p, err := faults.NewPlan(sc.FaultFamily, sc.Net, sc.Horizon, seed)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		plan = p
+	}
 	var runFP uint64
-	if spec.Deterministic {
+	if spec.Deterministic && plan == nil {
 		fp, err := memo.fingerprint(sc, spec, seed)
 		if err != nil {
 			res.Err = err
@@ -406,12 +440,15 @@ func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, mode string, e
 	out, err := exec(live.Config{
 		Net: sc.Net, Horizon: sc.Horizon, Policy: spec.New(seed),
 		Externals: sc.Externals, Agents: agentMap, Engine: eng,
-		Fingerprint: runFP,
+		Fingerprint: runFP, Faults: plan,
 	})
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	res.Degraded = len(out.Degraded)
+	res.Crashed = len(out.Crashed)
+	res.Violations = len(out.Violations)
 	res.ReplayBatches = out.ReplayBatches
 	res.ReplayChunks = out.ReplayChunks
 	if runFP != 0 {
@@ -474,6 +511,17 @@ type Aggregate struct {
 	// over the group's cells (zero for sim and goroutine-mode groups).
 	ReplayBatches int
 	ReplayChunks  int
+
+	// Fault-injection tallies summed over the group's cells: degraded
+	// agents, crashed processes and injected bound violations.
+	Degraded   int
+	Crashed    int
+	Violations int
+
+	// FirstErr is the first cell error of the group in enumeration order
+	// ("" when every cell succeeded) — the chaos sweep's machine-checkable
+	// err column.
+	FirstErr string
 }
 
 // Summarize groups results by (scenario, policy, mode) in first-appearance
@@ -497,8 +545,14 @@ func Summarize(results []Result) []Aggregate {
 		a.Runs++
 		if res.Err != nil {
 			a.Errors++
+			if a.FirstErr == "" {
+				a.FirstErr = res.Err.Error()
+			}
 			continue
 		}
+		a.Degraded += res.Degraded
+		a.Crashed += res.Crashed
+		a.Violations += res.Violations
 		s.nodes = append(s.nodes, float64(res.Nodes))
 		s.deliveries = append(s.deliveries, float64(res.Deliveries))
 		if res.HasTask {
@@ -537,11 +591,14 @@ func Summarize(results []Result) []Aggregate {
 // bypasses the cache); the rev column reads warm-hits/reverse-queries over
 // the group's reverse-cache traffic ("-" when no agent hit the Early
 // shape); the replay column reads batches/chunks streamed by replay-mode
-// cells ("-" for sim and goroutine-mode rows).
+// cells ("-" for sim and goroutine-mode rows). Fault-injected groups fill
+// the degr column (degraded agents / agents hosted, plus the group's
+// injected violations) and the err column carries the group's first cell
+// error, truncated — "-" everywhere for clean groups.
 func Table(aggs []Aggregate) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix\trev\treplay")
+	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix\trev\treplay\tdegr\terr")
 	for _, a := range aggs {
 		acted := "-"
 		gapMean := "-"
@@ -568,13 +625,24 @@ func Table(aggs []Aggregate) string {
 		if a.ReplayBatches > 0 {
 			replay = fmt.Sprintf("%d/%d", a.ReplayBatches, a.ReplayChunks)
 		}
+		degr := "-"
+		if a.Degraded > 0 || a.Crashed > 0 || a.Violations > 0 {
+			degr = fmt.Sprintf("%d/%d (%dv)", a.Degraded, a.AgentRuns, a.Violations)
+		}
+		errCol := "-"
+		if a.FirstErr != "" {
+			errCol = a.FirstErr
+			if len(errCol) > 48 {
+				errCol = errCol[:45] + "..."
+			}
+		}
 		mode := a.Mode
 		if mode == "" {
 			mode = ModeSim
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			a.Scenario, mode, a.Policy, a.Runs, a.Errors, a.Nodes.Mean, a.Deliveries.Mean,
-			acted, gapMean, gapRange, prefix, rev, replay)
+			acted, gapMean, gapRange, prefix, rev, replay, degr, errCol)
 	}
 	tw.Flush()
 	return b.String()

@@ -105,9 +105,17 @@ func Zigzag(net *model.Network, z *pattern.Zigzag) string {
 			continue
 		}
 		total += w
+		// Weight succeeded, so both path sums are defined — but render, don't
+		// panic, if a hand-built pattern slips a broken path past it.
+		headL, errL := net.LowerSum(f.HeadPath)
+		tailU, errU := net.UpperSum(f.TailPath)
+		if errL != nil || errU != nil {
+			fmt.Fprintf(&sb, "F%d: %s  <broken path: %v%v>\n", i+1, f, errL, errU)
+			continue
+		}
 		fmt.Fprintf(&sb, "F%d: base=%s  head+%s (L=%d)  tail+%s (U=%d)  wt=%+d\n",
-			i+1, f.Base, f.HeadPath, net.MustLowerSum(f.HeadPath),
-			f.TailPath, net.MustUpperSum(f.TailPath), w)
+			i+1, f.Base, f.HeadPath, headL,
+			f.TailPath, tailU, w)
 		if i < len(z.NonJoined) {
 			if z.NonJoined[i] {
 				total++
