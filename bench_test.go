@@ -538,6 +538,51 @@ func BenchmarkSweepRebuildNetwork(b *testing.B) {
 	}
 }
 
+// BenchmarkKnowsWeightOnly (B1): a page of threshold knowledge queries
+// through the weight-only fast path — one SPFA, one comparison, no witness
+// Steps. Acceptance: zero allocations per warmed-up query (guarded by
+// TestKnowsAllocationGuard in internal/bounds) and strictly cheaper than
+// BenchmarkKnowsWitnessPath at every n.
+func BenchmarkKnowsWeightOnly(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		c := bench.KnowsWeightOnly(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
+	}
+}
+
+// BenchmarkKnowsWitnessPath is the witness-bearing baseline recorded
+// alongside BenchmarkKnowsWeightOnly: the identical queries through
+// KnowledgeWeight, paying for predecessor tracking and witness
+// materialization threshold consumers never read.
+func BenchmarkKnowsWitnessPath(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		c := bench.KnowsWitnessPath(n)
+		b.Run(fmt.Sprintf("n=%d", n), c.Run)
+	}
+}
+
+// BenchmarkSweepBatchedX (B1): a complete live sweep over an 8-point x
+// axis of the m=16 coordination scenario with the axis collapsed — one
+// execution per (policy, seed) answers every x row through KnowsAt
+// threshold grids and fans the results out. Acceptance: >= 4x fewer
+// allocs/op and >= 3x lower ns/op than BenchmarkSweepPerX at xs=8.
+func BenchmarkSweepBatchedX(b *testing.B) {
+	for _, nx := range []int{4, 8} {
+		c := bench.SweepBatchedX(16, nx)
+		b.Run(fmt.Sprintf("xs=%d", nx), c.Run)
+	}
+}
+
+// BenchmarkSweepPerX is the dedicated per-x baseline recorded alongside
+// BenchmarkSweepBatchedX: the identical grid, one full execution per x
+// value — what every multi-x sweep paid before the batched plane.
+func BenchmarkSweepPerX(b *testing.B) {
+	for _, nx := range []int{4, 8} {
+		c := bench.SweepPerX(16, nx)
+		b.Run(fmt.Sprintf("xs=%d", nx), c.Run)
+	}
+}
+
 // BenchmarkFacadeRoundTrip exercises the public API end to end, as the
 // quickstart example does.
 func BenchmarkFacadeRoundTrip(b *testing.B) {

@@ -91,6 +91,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 		sweepX   = flag.String("sweep-x", "", "comma-separated task-separation overrides as a sweep axis (e.g. 0,2,4; overrides -x for the sweep)")
+		noXBatch = flag.Bool("no-xbatch", false, "with -sweep -sweep-x: run every per-x live cell as its own execution instead of collapsing the x axis onto batched executions")
 		sweepSc  = flag.String("sweep-scale", "", "comma-separated channel-bound scaling factors as a sweep axis (e.g. 1,1.5,2)")
 		sweepRnd = flag.String("sweep-rand", "", "extra random topologies as procs:extra:seed triples, comma-separated (e.g. 8:12:1,12:20:2)")
 	)
@@ -154,7 +155,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			exit(2)
 		}
-		if err := runSweep(axes, *seeds, *workers, *format, *doLive, *liveMode, *doFaults); err != nil {
+		if err := runSweep(axes, *seeds, *workers, *format, *doLive, *liveMode, *doFaults, *noXBatch); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit(1)
 		}
@@ -517,7 +518,7 @@ func parseAxes(x, coordM int, xsFlag, scalesFlag, randFlag string) (sweep.Axes, 
 // agents, never a cell error. The banner is only
 // printed for the human-readable table so that csv/json output can be piped
 // straight into figure scripts.
-func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, liveMode string, doFaults bool) error {
+func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, liveMode string, doFaults, noXBatch bool) error {
 	if seeds < 1 {
 		return fmt.Errorf("sweep needs at least one seed, got %d", seeds)
 	}
@@ -530,6 +531,7 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, l
 		Policies:  sweep.DefaultPolicies(),
 		Seeds:     make([]int64, seeds),
 		Workers:   workers,
+		NoXBatch:  noXBatch,
 	}
 	switch liveMode {
 	case "replay":
@@ -587,6 +589,10 @@ func runSweep(axes sweep.Axes, seeds, workers int, format string, doLive bool, l
 		if st.ReplayBatches > 0 {
 			fmt.Printf("replay: %d batch(es) driven through %d streamed chunk(s), goroutine-free\n",
 				st.ReplayBatches, st.ReplayChunks)
+		}
+		if st.BatchQueries > 0 || st.XFanout > 0 {
+			fmt.Printf("batched queries: %d answered, %d for free from an already-computed distance array; x-fanout saved %d execution(s)\n",
+				st.BatchQueries, st.BatchHits, st.XFanout)
 		}
 	}
 	if format == "" || format == "table" {

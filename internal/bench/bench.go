@@ -15,6 +15,7 @@ import (
 	"github.com/clockless/zigzag/internal/run"
 	"github.com/clockless/zigzag/internal/scenario"
 	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/sweep"
 	"github.com/clockless/zigzag/internal/workload"
 )
 
@@ -610,6 +611,142 @@ func ScalingKnowledge(n int) Case {
 	}
 }
 
+// knowsCase measures a page of threshold knowledge queries against a
+// standing extended graph — the query shape Protocol2 issues at every
+// state — through the weight-only fast path (Knows: one SPFA, one
+// comparison, no witness) or the witness-bearing KnowledgeWeight it
+// replaced as the threshold-query engine.
+func knowsCase(n int, name string, weightOnly bool) Case {
+	return Case{
+		Name: fmt.Sprintf("%s/n=%d", name, n),
+		Run: func(b *testing.B) {
+			in := instance(n)
+			r, err := in.Simulate(sim.NewRandom(int64(n) * 7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			window := in.WindowNodes(r)
+			sigma := window[len(window)-1]
+			ext, err := bounds.NewExtended(r, sigma)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ps := ext.Past()
+			var cands []run.GeneralNode
+			for _, node := range window {
+				if ps.Contains(node) && !node.IsInitial() {
+					cands = append(cands, run.At(node))
+				}
+			}
+			if len(cands) > 8 {
+				cands = cands[len(cands)-8:]
+			}
+			if len(cands) < 2 {
+				b.Fatal("no query candidates in window")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for ci, t1 := range cands {
+					for cj, t2 := range cands {
+						if ci == cj {
+							continue
+						}
+						if weightOnly {
+							if _, err := ext.Knows(t1, 1, t2); err != nil {
+								b.Fatal(err)
+							}
+						} else {
+							_, _, known, err := ext.KnowledgeWeight(t1, t2)
+							if err != nil {
+								b.Fatal(err)
+							}
+							_ = known
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(len(cands)*(len(cands)-1)), "queries")
+		},
+	}
+}
+
+// KnowsWeightOnly prices the threshold query as Protocol2 now issues it:
+// weight-only, zero witness allocation.
+func KnowsWeightOnly(n int) Case { return knowsCase(n, "KnowsWeightOnly", true) }
+
+// KnowsWitnessPath is the witness-bearing baseline recorded alongside
+// KnowsWeightOnly: the identical queries through KnowledgeWeight, paying
+// for predecessor tracking and Step materialization nobody reads.
+func KnowsWitnessPath(n int) Case { return knowsCase(n, "KnowsWitnessPath", false) }
+
+// xVariants expands one multi-agent coordination scenario across nx
+// separation thresholds, marked as an x-axis family the way sweep.Axes
+// marks them (XBase/XValue plus per-task X overrides).
+func xVariants(m, nx int) []*scenario.Scenario {
+	base := scenario.MultiAgent(m)
+	out := make([]*scenario.Scenario, 0, nx)
+	for x := 0; x < nx; x++ {
+		cp := *base
+		cp.Name = fmt.Sprintf("%s@x=%d", base.Name, x)
+		cp.XBase = base.Name
+		cp.XValue = x
+		cp.Tasks = append([]coord.Task(nil), base.Tasks...)
+		for j := range cp.Tasks {
+			cp.Tasks[j].X = x
+		}
+		cp.Task = &cp.Tasks[0]
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// sweepX measures a complete live sweep over an nx-point x axis of one
+// coordination scenario — the grid carve, every execution, agent decisions
+// and result assembly — either batched (one execution per (policy, seed)
+// answering every x row through KnowsAt grids and fanned results) or
+// dedicated (one execution per x, what every multi-x sweep paid before the
+// batched knowledge-query plane).
+func sweepX(m, nx int, name string, noXBatch bool) Case {
+	return Case{
+		Name: fmt.Sprintf("%s/m=%d/xs=%d", name, m, nx),
+		Run: func(b *testing.B) {
+			g := sweep.Grid{
+				Live: xVariants(m, nx),
+				Policies: []sweep.PolicySpec{
+					{Name: "lazy", New: func(int64) sim.Policy { return sim.Lazy{} }, Deterministic: true},
+				},
+				Seeds:    []int64{1},
+				Workers:  1,
+				NoXBatch: noXBatch,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := g.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range results {
+					if results[j].Err != nil {
+						b.Fatal(results[j].Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(nx), "cells")
+		},
+	}
+}
+
+// SweepBatchedX is the x-collapsed live sweep: one execution answers the
+// whole x axis. Acceptance: >= 4x fewer allocs/op and >= 3x lower ns/op
+// than SweepPerX at m=16, xs=8.
+func SweepBatchedX(m, nx int) Case { return sweepX(m, nx, "SweepBatchedX", false) }
+
+// SweepPerX is the dedicated per-x baseline recorded alongside
+// SweepBatchedX: identical grid, one full execution per x value.
+func SweepPerX(m, nx int) Case { return sweepX(m, nx, "SweepPerX", true) }
+
 // ExportCases is the perf-trajectory suite written by cmd/bench-export:
 // every scaling family at its standard sizes.
 func ExportCases() []Case {
@@ -666,6 +803,16 @@ func ExportCases() []Case {
 	for _, m := range scenario.MultiAgentSizes {
 		cases = append(cases, SweepGoroutineLive(m))
 		cases = append(cases, SweepReplayLive(m))
+	}
+	// The threshold-query and x-axis pairs are interleaved the same way:
+	// baseline then fast path back to back.
+	for _, n := range []int{8, 16, 32, 64} {
+		cases = append(cases, KnowsWitnessPath(n))
+		cases = append(cases, KnowsWeightOnly(n))
+	}
+	for _, nx := range []int{4, 8} {
+		cases = append(cases, SweepPerX(16, nx))
+		cases = append(cases, SweepBatchedX(16, nx))
 	}
 	return cases
 }

@@ -1,0 +1,275 @@
+package bounds
+
+import (
+	"fmt"
+
+	"github.com/clockless/zigzag/internal/graph"
+	"github.com/clockless/zigzag/internal/run"
+)
+
+// The batched knowledge-query plane. Knows(theta1, x, theta2) is exactly
+// KnowledgeWeight(theta1, theta2) >= x (Theorem 4), and one SPFA from a
+// source already prices every target, so a batch of (theta1, x, theta2)
+// triples needs one relaxation per DISTINCT source: the queries of a source
+// group — every target, every threshold — are O(1) lookups into that group's
+// distance array. QueryBatch implements the grouping on all three engines;
+// it is the server-side hot path a knowledge daemon answers request batches
+// through.
+
+// Query is one (theta1, x, theta2) knowledge question of a batch: does the
+// agent know that Theta1 occurs at least X time units before Theta2?
+type Query struct {
+	Theta1 run.GeneralNode
+	X      int
+	Theta2 run.GeneralNode
+}
+
+// Answer is the verdict of one batch query: the knowledge weight between its
+// endpoints (Known false when no bound is known at any x) and the threshold
+// verdict Holds = Known && Kw >= X.
+type Answer struct {
+	Kw    int
+	Known bool
+	Holds bool
+}
+
+// QueryBatch answers a batch of knowledge queries, one SPFA per distinct
+// source node. Queries sharing Theta1 — whatever their targets and
+// thresholds — are answered from a single longest-path computation; when the
+// engine's forward cache matches a source, that group relaxes warm and is
+// served first (later full runs overwrite the scratch). out must have at
+// least len(qs) entries. An unresolvable endpoint fails the whole batch, as
+// the single-query path would have failed that query.
+func (o *Online) QueryBatch(qs []Query, out []Answer) error {
+	if len(out) < len(qs) {
+		return fmt.Errorf("bounds: QueryBatch needs %d answer slots, got %d", len(qs), len(out))
+	}
+	if err := o.Sync(); err != nil {
+		return err
+	}
+	base := o.g.N()
+	o.batchUs, o.batchVs, o.batchDone = o.batchUs[:0], o.batchVs[:0], o.batchDone[:0]
+	for i := range qs {
+		u, err := o.vertexOfGeneral(qs[i].Theta1)
+		if err != nil {
+			o.rollback(base)
+			return err
+		}
+		v, err := o.vertexOfGeneral(qs[i].Theta2)
+		if err != nil {
+			o.rollback(base)
+			return err
+		}
+		o.batchUs = append(o.batchUs, u)
+		o.batchVs = append(o.batchVs, v)
+		o.batchDone = append(o.batchDone, false)
+	}
+
+	runs := 0
+	// Pass 0 serves the group matching the warm forward cache (its delta
+	// relaxation must happen before any full run resets the scratch); pass 1
+	// runs the remaining groups full, leaving the cache on the last source.
+	for pass := 0; pass < 2; pass++ {
+		for i := range qs {
+			if o.batchDone[i] {
+				continue
+			}
+			u := o.batchUs[i]
+			warm := o.cacheValid && u == o.cacheSrc
+			if (pass == 0) != warm {
+				continue
+			}
+			var dist []int64
+			var err error
+			if warm {
+				o.querySeeds = append(o.querySeeds[:0], o.seeds...)
+				for j := range o.undo {
+					o.querySeeds = append(o.querySeeds, o.undo[j].parent, o.undo[j].aux)
+				}
+				dist, err = o.g.RelaxFrom(&o.scratch, o.querySeeds)
+			} else {
+				dist, err = o.g.LongestWith(&o.scratch, u)
+				o.cacheSrc = u
+				o.cacheValid = u < base
+			}
+			if err != nil {
+				o.cacheValid = false
+				o.rollback(base)
+				return fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
+			}
+			runs++
+			o.seeds = o.seeds[:0]
+			for j := i; j < len(qs); j++ {
+				if o.batchDone[j] || o.batchUs[j] != u {
+					continue
+				}
+				w := dist[o.batchVs[j]]
+				a := Answer{Known: w != graph.NegInf}
+				if a.Known {
+					a.Kw = int(w)
+					a.Holds = a.Kw >= qs[j].X
+				}
+				out[j] = a
+				o.batchDone[j] = true
+			}
+		}
+	}
+	o.stats.BatchQueries += int64(len(qs))
+	o.stats.BatchHits += int64(len(qs) - runs)
+	o.rollback(base)
+	return nil
+}
+
+// QueryBatch answers a batch of knowledge queries against the offline
+// extended graph, one SPFA per distinct source node (see Online.QueryBatch).
+// out must have at least len(qs) entries.
+func (e *Extended) QueryBatch(qs []Query, out []Answer) error {
+	if len(out) < len(qs) {
+		return fmt.Errorf("bounds: QueryBatch needs %d answer slots, got %d", len(qs), len(out))
+	}
+	us := make([]int, len(qs))
+	vs := make([]int, len(qs))
+	done := make([]bool, len(qs))
+	for i := range qs {
+		u, err := e.VertexOfGeneral(qs[i].Theta1)
+		if err != nil {
+			return err
+		}
+		v, err := e.VertexOfGeneral(qs[i].Theta2)
+		if err != nil {
+			return err
+		}
+		us[i], vs[i] = u, v
+	}
+	for i := range qs {
+		if done[i] {
+			continue
+		}
+		u := us[i]
+		dist, err := e.g.LongestWith(&e.scratch, u)
+		if err != nil {
+			return fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
+		}
+		for j := i; j < len(qs); j++ {
+			if done[j] || us[j] != u {
+				continue
+			}
+			w := dist[vs[j]]
+			a := Answer{Known: w != graph.NegInf}
+			if a.Known {
+				a.Kw = int(w)
+				a.Holds = a.Kw >= qs[j].X
+			}
+			out[j] = a
+			done[j] = true
+		}
+	}
+	return nil
+}
+
+// QueryBatch answers a batch of knowledge queries under the handle's
+// frontier restriction, one restricted SPFA per distinct source node (see
+// Online.QueryBatch). The whole batch holds the engine lock once. out must
+// have at least len(qs) entries.
+func (h *Handle) QueryBatch(qs []Query, out []Answer) error {
+	if len(out) < len(qs) {
+		return fmt.Errorf("bounds: QueryBatch needs %d answer slots, got %d", len(qs), len(out))
+	}
+	s := h.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := h.sync(); err != nil {
+		return err
+	}
+	if h.scratch == nil {
+		h.scratch = s.eng.leaseScratch()
+	}
+	base := s.g.N()
+	h.batchUs, h.batchVs, h.batchDone = h.batchUs[:0], h.batchVs[:0], h.batchDone[:0]
+	for i := range qs {
+		u, err := h.vertexOfGeneral(qs[i].Theta1)
+		if err != nil {
+			h.rollback(base)
+			return err
+		}
+		v, err := h.vertexOfGeneral(qs[i].Theta2)
+		if err != nil {
+			h.rollback(base)
+			return err
+		}
+		h.batchUs = append(h.batchUs, u)
+		h.batchVs = append(h.batchVs, v)
+		h.batchDone = append(h.batchDone, false)
+	}
+
+	// Built after every chain vertex is materialized: vis may reallocate
+	// while endpoints resolve.
+	r := graph.Restriction{
+		Visible: h.vis,
+		Band:    s.band, Idx: s.idx, Limit: h.limit,
+		Overlay: h.overlay, ROverlay: h.roverlay,
+		BoundaryTo: s.eng.boundaryTo, BoundaryWeight: 1,
+		BoundaryFrom: h.bfrom,
+	}
+	runs := 0
+	for pass := 0; pass < 2; pass++ {
+		for i := range qs {
+			if h.batchDone[i] {
+				continue
+			}
+			u := h.batchUs[i]
+			warm := h.cacheValid && u == h.cacheSrc
+			if (pass == 0) != warm {
+				continue
+			}
+			var dist []int64
+			var err error
+			if warm {
+				h.querySeeds = append(h.querySeeds[:0], h.seeds...)
+				for j := range h.undo {
+					h.querySeeds = append(h.querySeeds, h.undo[j].parent, h.undo[j].aux)
+				}
+				dist, err = s.g.RelaxRestrictedFrom(h.scratch, h.querySeeds, h.admitted, &r)
+			} else {
+				dist, err = s.g.LongestRestricted(h.scratch, u, &r)
+				h.cacheSrc = u
+				h.cacheValid = u < base
+			}
+			if err != nil {
+				if h.scratch.Relaxations != 0 {
+					s.eng.stats.relaxations.Add(h.scratch.Relaxations)
+					h.scratch.Relaxations = 0
+				}
+				h.cacheValid = false
+				h.rollback(base)
+				return fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
+			}
+			runs++
+			h.seeds = h.seeds[:0]
+			h.admitted = h.admitted[:0]
+			for j := i; j < len(qs); j++ {
+				if h.batchDone[j] || h.batchUs[j] != u {
+					continue
+				}
+				w := dist[h.batchVs[j]]
+				a := Answer{Known: w != graph.NegInf}
+				if a.Known {
+					a.Kw = int(w)
+					a.Holds = a.Kw >= qs[j].X
+				}
+				out[j] = a
+				h.batchDone[j] = true
+			}
+		}
+	}
+	if h.scratch.Relaxations != 0 {
+		s.eng.stats.relaxations.Add(h.scratch.Relaxations)
+		h.scratch.Relaxations = 0
+	}
+	h.stats.BatchQueries += int64(len(qs))
+	h.stats.BatchHits += int64(len(qs) - runs)
+	s.eng.stats.batchQueries.Add(int64(len(qs)))
+	s.eng.stats.batchHits.Add(int64(len(qs) - runs))
+	h.rollback(base)
+	return nil
+}

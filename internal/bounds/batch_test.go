@@ -1,0 +1,267 @@
+package bounds
+
+import (
+	"testing"
+
+	"github.com/clockless/zigzag/internal/model"
+	"github.com/clockless/zigzag/internal/run"
+	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/workload"
+)
+
+// batchXs is the threshold grid the weight-plane differentials sweep:
+// negative, zero and positive thresholds around the small knowledge weights
+// random workload runs produce.
+var batchXs = []int{-2, 0, 1, 3}
+
+// TestWeightPlaneMatchesWitnessPath pins the weight-only fast path to the
+// witness-bearing query it replaced: on every state of random scenarios,
+// Extended.Weight and Extended.KnowsAt agree with KnowledgeWeight and
+// per-threshold Knows on weight, knownness, error class and every verdict
+// of the threshold grid.
+func TestWeightPlaneMatchesWitnessPath(t *testing.T) {
+	holds := make([]bool, len(batchXs))
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := workload.DefaultConfig(seed)
+		cfg.Procs = 4 + int(seed%3)
+		in := workload.MustGenerate(cfg)
+		r, err := in.Simulate(sim.NewRandom(seed * 19))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs := in.Net.Procs()
+		p := procs[int(seed)%len(procs)]
+		if r.LastIndex(p) == 0 {
+			continue
+		}
+		replayViews(t, r, p, func(k int, v *run.View) {
+			fresh, err := NewExtendedFromView(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := queryNodes(v)
+			for i, t1 := range qs {
+				for j, t2 := range qs {
+					if i == j && t1.IsBasic() {
+						continue
+					}
+					wantKW, _, wantKnown, wantErr := fresh.KnowledgeWeight(t1, t2)
+					gotKW, gotKnown, gotErr := fresh.Weight(t1, t2)
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("seed %d p%d#%d %s->%s: err witness=%v weight=%v",
+							seed, p, k, t1, t2, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						continue
+					}
+					if wantKnown != gotKnown || (wantKnown && wantKW != gotKW) {
+						t.Fatalf("seed %d p%d#%d %s->%s: witness (%d,%v) weight (%d,%v)",
+							seed, p, k, t1, t2, wantKW, wantKnown, gotKW, gotKnown)
+					}
+					// The grid evaluation is one more SPFA per pair times the
+					// per-threshold Knows oracle; a few pairs per state supply
+					// plenty of coverage without a quadratic blowup.
+					if i > 1 {
+						continue
+					}
+					kw, known, err := fresh.KnowsAt(t1, batchXs, t2, holds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if known != wantKnown || (known && kw != wantKW) {
+						t.Fatalf("seed %d p%d#%d %s->%s: KnowsAt (%d,%v) want (%d,%v)",
+							seed, p, k, t1, t2, kw, known, wantKW, wantKnown)
+					}
+					for xi, x := range batchXs {
+						want, err := fresh.Knows(t1, x, t2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if holds[xi] != want {
+							t.Fatalf("seed %d p%d#%d %s->%s x=%d: KnowsAt %v, Knows %v",
+								seed, p, k, t1, t2, x, holds[xi], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// batchOf builds a query batch over every ordered pair of the state's query
+// nodes, cycling thresholds so groups mix holding and failing verdicts. The
+// pair enumeration repeats each source len(qs)-1 times, so the batch
+// genuinely exercises source grouping.
+func batchOf(nodes []run.GeneralNode) []Query {
+	var qs []Query
+	for i, t1 := range nodes {
+		for j, t2 := range nodes {
+			if i == j && t1.IsBasic() {
+				continue
+			}
+			qs = append(qs, Query{Theta1: t1, X: batchXs[(i+j)%len(batchXs)], Theta2: t2})
+		}
+	}
+	return qs
+}
+
+// TestQueryBatchMatchesSingleQueries is the batch plane's differential
+// acceptance test: on every state of a random scenario, QueryBatch on all
+// three engines — offline Extended, private Online, shared Handle — returns
+// exactly the answers the single-query path gives, the batch leaves the
+// incremental engines' caches consistent (a fresh single query after the
+// batch still agrees with the oracle), and the engines report the batch
+// savings: at most one SPFA per distinct source.
+func TestQueryBatchMatchesSingleQueries(t *testing.T) {
+	in := workload.MustGenerate(workload.DefaultConfig(5))
+	r, err := in.Simulate(sim.NewRandom(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := in.Net.Procs()
+	p := procs[1%len(procs)]
+	if r.LastIndex(p) == 0 {
+		t.Fatal("observer has no states")
+	}
+	eng := NewShared(in.Net)
+	var online *Online
+	var h *Handle
+	replayViews(t, r, p, func(k int, v *run.View) {
+		if online == nil {
+			online = NewOnline(v)
+			h = mustHandle(t, eng, v)
+		}
+		fresh, err := NewExtendedFromView(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := queryNodes(v)
+		qs := batchOf(nodes)
+		if len(qs) == 0 {
+			return
+		}
+
+		// Oracle answers from the offline engine's single-query path.
+		want := make([]Answer, len(qs))
+		sources := map[string]bool{}
+		for i, q := range qs {
+			kw, known, err := fresh.Weight(q.Theta1, q.Theta2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = Answer{Known: known}
+			if known {
+				want[i].Kw = kw
+				want[i].Holds = kw >= q.X
+			}
+			sources[q.Theta1.String()] = true
+		}
+
+		check := func(engine string, got []Answer) {
+			t.Helper()
+			for i := range qs {
+				if got[i] != want[i] {
+					t.Fatalf("p%d#%d %s query %d (%s -> %s at x=%d): got %+v want %+v",
+						p, k, engine, i, qs[i].Theta1, qs[i].Theta2, qs[i].X, got[i], want[i])
+				}
+			}
+		}
+
+		got := make([]Answer, len(qs))
+		if err := fresh.QueryBatch(qs, got); err != nil {
+			t.Fatal(err)
+		}
+		check("extended", got)
+
+		beforeO := online.Stats()
+		gotO := make([]Answer, len(qs))
+		if err := online.QueryBatch(qs, gotO); err != nil {
+			t.Fatal(err)
+		}
+		check("online", gotO)
+		dO := online.Stats()
+		if n := dO.BatchQueries - beforeO.BatchQueries; n != int64(len(qs)) {
+			t.Fatalf("p%d#%d: online batch counted %d queries, want %d", p, k, n, len(qs))
+		}
+		// One SPFA per distinct source: everything else is a free lookup.
+		if free := dO.BatchHits - beforeO.BatchHits; free < int64(len(qs)-len(sources)) {
+			t.Fatalf("p%d#%d: online batch served %d of %d queries for free, want >= %d",
+				p, k, free, len(qs), len(qs)-len(sources))
+		}
+
+		beforeH := h.Stats()
+		gotH := make([]Answer, len(qs))
+		if err := h.QueryBatch(qs, gotH); err != nil {
+			t.Fatal(err)
+		}
+		check("handle", gotH)
+		if n := h.Stats().BatchQueries - beforeH.BatchQueries; n != int64(len(qs)) {
+			t.Fatalf("p%d#%d: handle batch counted %d queries, want %d", p, k, n, len(qs))
+		}
+
+		// The batch must leave the incremental engines able to answer a fresh
+		// single query — the forward cache it left behind is either valid or
+		// correctly invalidated.
+		q0 := qs[len(qs)/2]
+		wantKW, wantKnown, err := fresh.Weight(q0.Theta1, q0.Theta2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for engine, w := range map[string]func(run.GeneralNode, run.GeneralNode) (int, bool, error){
+			"online": online.Weight, "handle": h.Weight,
+		} {
+			kw, known, err := w(q0.Theta1, q0.Theta2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if known != wantKnown || (known && kw != wantKW) {
+				t.Fatalf("p%d#%d: %s single query after batch (%d,%v), want (%d,%v)",
+					p, k, engine, kw, known, wantKW, wantKnown)
+			}
+		}
+	})
+}
+
+// TestKnowsAllocationGuard pins the satellite the weight-only rewrite
+// bought: a warmed-up Extended.Knows builds no witness path, so after the
+// first query of a source has sized the SPFA scratch, further threshold
+// queries allocate nothing at all.
+func TestKnowsAllocationGuard(t *testing.T) {
+	net := model.MustComplete(6, 1, 5)
+	r := sim.MustSimulate(sim.Config{
+		Net: net, Horizon: 60, Policy: sim.Lazy{}, Externals: sim.GoAt(1, 1, "go"),
+	})
+	sigma := run.BasicNode{Proc: 1, Index: r.LastIndex(1)}
+	ext, err := NewExtended(r, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := ext.Past()
+	var cands []run.BasicNode
+	for p := model.ProcID(1); int(p) <= net.N(); p++ {
+		for k := 1; k <= r.LastIndex(p); k++ {
+			n := run.BasicNode{Proc: p, Index: k}
+			if ps.Contains(n) {
+				cands = append(cands, n)
+			}
+		}
+	}
+	if len(cands) < 2 {
+		t.Fatal("fixture has too few past nodes")
+	}
+	theta1 := run.At(cands[0])
+	theta2 := run.At(cands[len(cands)-1])
+	// Warm-up sizes the scratch arrays and materializes nothing further:
+	// both endpoints are basic nodes of the past, already vertices.
+	if _, err := ext.Knows(theta1, 1, theta2); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(50, func() {
+		if _, err := ext.Knows(theta1, 1, theta2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("warmed-up Knows allocates %.0f times per query, want 0", got)
+	}
+}

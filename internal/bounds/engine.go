@@ -138,6 +138,13 @@ func (e *NetworkEngine) NoteReplay(batches, chunks int64) {
 	e.stats.replayChunks.Add(chunks)
 }
 
+// NoteXFanout credits live executions saved by x-axis fanout: a sweep that
+// answers saved per-x cells from one batched execution reports them once per
+// collapsed group.
+func (e *NetworkEngine) NoteXFanout(saved int64) {
+	e.stats.xFanout.Add(saved)
+}
+
 // NewRun stamps out the run-lifetime tier: a Shared engine whose standing
 // graph starts as a clone of the aux prototype, above which the run's node
 // vertices and edges are appended as agents subscribe. Runs of one engine

@@ -90,6 +90,11 @@ type Online struct {
 	chainKeys []chainKey
 	chainIDs  []int
 	undo      []chainUndo
+
+	// Reusable QueryBatch working buffers (resolved endpoints and the
+	// answered bitmap), kept on the engine so batches allocate nothing.
+	batchUs, batchVs []int
+	batchDone        []bool
 }
 
 // chainUndo records one speculative chain vertex for rollback.
@@ -274,6 +279,10 @@ func (o *Online) vertexOfGeneral(theta run.GeneralNode) (int, error) {
 	if !o.view.Contains(theta.Base) {
 		return 0, fmt.Errorf("%w: %s", ErrNotRecognized, theta)
 	}
+	if theta.Path.Hops() == 0 {
+		// Basic node: no chain to resolve, no prefix slice to allocate.
+		return o.vertex(theta.Base), nil
+	}
 	prefix, hops := o.view.ResolvePrefix(theta)
 	cur := prefix[len(prefix)-1]
 	if hops == theta.Path.Hops() {
@@ -431,6 +440,13 @@ func (o *Online) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 // Stats returns the engine's cumulative reverse-cache counters.
 func (o *Online) Stats() HandleStats { return o.stats }
 
+// Weight is the weight-only query of the batched plane. Online never
+// materializes witnesses, so it coincides with KnowledgeWeight; it exists so
+// Extended, Online and Handle expose one weight-only contract.
+func (o *Online) Weight(theta1, theta2 run.GeneralNode) (kw int, known bool, err error) {
+	return o.KnowledgeWeight(theta1, theta2)
+}
+
 // Knows reports whether K_sigma(theta1 --x--> theta2) holds at the view's
 // current state, agreeing exactly with Extended.Knows on a fresh build.
 func (o *Online) Knows(theta1 run.GeneralNode, x int, theta2 run.GeneralNode) (bool, error) {
@@ -439,4 +455,22 @@ func (o *Online) Knows(theta1 run.GeneralNode, x int, theta2 run.GeneralNode) (b
 		return false, err
 	}
 	return known && kw >= x, nil
+}
+
+// KnowsAt evaluates a threshold grid against one weight computation:
+// holds[i] is set to Knows(theta1, xs[i], theta2) for the price of a single
+// (possibly cache-warm) SPFA. holds must have at least len(xs) entries. The
+// grid answers count as batched queries: len(xs) served, len(xs)-1 of them
+// without their own relaxation.
+func (o *Online) KnowsAt(theta1 run.GeneralNode, xs []int, theta2 run.GeneralNode, holds []bool) (kw int, known bool, err error) {
+	kw, known, err = o.KnowledgeWeight(theta1, theta2)
+	if err != nil {
+		return 0, false, err
+	}
+	for i, x := range xs {
+		holds[i] = known && kw >= x
+	}
+	o.stats.BatchQueries += int64(len(xs))
+	o.stats.BatchHits += int64(len(xs) - 1)
+	return kw, known, nil
 }

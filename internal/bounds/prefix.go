@@ -53,6 +53,15 @@ type EngineStats struct {
 	// to this engine (live.Replay with Config.Engine set).
 	ReplayBatches int64
 	ReplayChunks  int64
+	// BatchQueries / BatchHits count the batched knowledge-query plane:
+	// answers served through handle KnowsAt/QueryBatch grids, and the subset
+	// answered from an already-computed distance array (no SPFA of their
+	// own). XFanout counts live executions SAVED by x-axis fanout — sweep
+	// cells whose per-x rows were derived from another cell's single
+	// execution (NoteXFanout).
+	BatchQueries int64
+	BatchHits    int64
+	XFanout      int64
 }
 
 // engineStats is the mutable counter block behind EngineStats.
@@ -69,6 +78,9 @@ type engineStats struct {
 	revRelaxations  atomic.Int64
 	replayBatches   atomic.Int64
 	replayChunks    atomic.Int64
+	batchQueries    atomic.Int64
+	batchHits       atomic.Int64
+	xFanout         atomic.Int64
 }
 
 func (st *engineStats) snapshot() EngineStats {
@@ -85,6 +97,9 @@ func (st *engineStats) snapshot() EngineStats {
 		RevRelaxations:  st.revRelaxations.Load(),
 		ReplayBatches:   st.replayBatches.Load(),
 		ReplayChunks:    st.replayChunks.Load(),
+		BatchQueries:    st.batchQueries.Load(),
+		BatchHits:       st.batchHits.Load(),
+		XFanout:         st.xFanout.Load(),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/clockless/zigzag/internal/graph"
 	"github.com/clockless/zigzag/internal/run"
 )
 
@@ -32,6 +33,11 @@ func (e *Extended) VertexOfGeneral(theta run.GeneralNode) (int, error) {
 	}
 	if !e.past.Recognized(theta) {
 		return 0, fmt.Errorf("%w: %s", ErrNotRecognized, theta)
+	}
+	if theta.Path.Hops() == 0 {
+		// Basic node: no chain to resolve, and no prefix slice to build —
+		// this keeps the weight-only threshold query allocation-free.
+		return e.VertexOfPast(theta.Base)
 	}
 	prefix, hops := e.view.ResolvePrefix(theta)
 	cur := prefix[len(prefix)-1]
@@ -161,13 +167,55 @@ func (e *Extended) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, step
 	return int(dist[v]), steps, true, nil
 }
 
+// Weight computes kw = max{ x : K_sigma(theta1 --x--> theta2) } without
+// reconstructing the realizing constraint path: one SPFA pass over the
+// scratch buffers, one distance lookup, no witness Steps. It is the
+// weight-only fast path behind Knows and KnowsAt — boolean threshold
+// queries never pay for witness materialization. KnowledgeWeight remains
+// the witness-bearing variant for extraction consumers.
+func (e *Extended) Weight(theta1, theta2 run.GeneralNode) (kw int, known bool, err error) {
+	u, err := e.VertexOfGeneral(theta1)
+	if err != nil {
+		return 0, false, err
+	}
+	v, err := e.VertexOfGeneral(theta2)
+	if err != nil {
+		return 0, false, err
+	}
+	dist, err := e.g.LongestWith(&e.scratch, u)
+	if err != nil {
+		return 0, false, fmt.Errorf("bounds: GE(r,sigma) inconsistent: %w", err)
+	}
+	if dist[v] == graph.NegInf {
+		return 0, false, nil
+	}
+	return int(dist[v]), true, nil
+}
+
 // Knows reports whether K_sigma(theta1 --x--> theta2) holds: whether sigma,
 // in its current local state, knows that theta1 occurs at least x time units
-// before theta2 in every indistinguishable run.
+// before theta2 in every indistinguishable run. It runs weight-only — the
+// witness path a KnowledgeWeight call would materialize is never built.
 func (e *Extended) Knows(theta1 run.GeneralNode, x int, theta2 run.GeneralNode) (bool, error) {
-	kw, _, known, err := e.KnowledgeWeight(theta1, theta2)
+	kw, known, err := e.Weight(theta1, theta2)
 	if err != nil {
 		return false, err
 	}
 	return known && kw >= x, nil
+}
+
+// KnowsAt evaluates a whole threshold grid against one weight computation:
+// holds[i] is set to Knows(theta1, xs[i], theta2). The knowledge operator is
+// threshold-shaped (Theorem 4), so after the single SPFA every extra
+// threshold is one comparison. holds must have at least len(xs) entries (a
+// caller-owned buffer keeps the grid query allocation-free).
+func (e *Extended) KnowsAt(theta1 run.GeneralNode, xs []int, theta2 run.GeneralNode, holds []bool) (kw int, known bool, err error) {
+	kw, known, err = e.Weight(theta1, theta2)
+	if err != nil {
+		return 0, false, err
+	}
+	for i, x := range xs {
+		holds[i] = known && kw >= x
+	}
+	return kw, known, nil
 }

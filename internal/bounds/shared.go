@@ -283,17 +283,27 @@ type Handle struct {
 	chainKeys []chainKey
 	chainIDs  []int
 	undo      []chainUndo
+
+	// Reusable QueryBatch working buffers (resolved endpoints and the
+	// answered bitmap), kept on the handle so batches allocate nothing.
+	batchUs, batchVs []int
+	batchDone        []bool
 }
 
 // HandleStats counts one handle's (or one Online engine's) reverse-cache
-// activity: warm reverse restarts, full reverse rebuilds, aux-band refreshes
-// and the SPFA relaxations spent on the reverse side. The engine-level
-// EngineStats aggregates the same counters across all handles.
+// activity — warm reverse restarts, full reverse rebuilds, aux-band
+// refreshes and the SPFA relaxations spent on the reverse side — plus its
+// batched-query plane: BatchQueries counts answers served through KnowsAt /
+// QueryBatch, BatchHits the subset answered from an already-computed
+// distance array (no SPFA of their own). The engine-level EngineStats
+// aggregates the same counters across all handles.
 type HandleStats struct {
 	RevHits        int64
 	RevRebuilds    int64
 	BandRefreshes  int64
 	RevRelaxations int64
+	BatchQueries   int64
+	BatchHits      int64
 }
 
 // Add accumulates other into st.
@@ -302,6 +312,8 @@ func (st *HandleStats) Add(other HandleStats) {
 	st.RevRebuilds += other.RevRebuilds
 	st.BandRefreshes += other.BandRefreshes
 	st.RevRelaxations += other.RevRelaxations
+	st.BatchQueries += other.BatchQueries
+	st.BatchHits += other.BatchHits
 }
 
 // Stats returns the handle's cumulative reverse-cache counters. Unlike the
@@ -570,6 +582,10 @@ func (h *Handle) vertexOfGeneral(theta run.GeneralNode) (int, error) {
 	if !h.view.Contains(theta.Base) {
 		return 0, fmt.Errorf("%w: %s", ErrNotRecognized, theta)
 	}
+	if theta.Path.Hops() == 0 {
+		// Basic node: no chain to resolve, no prefix slice to allocate.
+		return h.vertex(theta.Base), nil
+	}
 	prefix, hops := h.view.ResolvePrefix(theta)
 	cur := prefix[len(prefix)-1]
 	if hops == theta.Path.Hops() {
@@ -778,6 +794,13 @@ func (h *Handle) KnowledgeWeight(theta1, theta2 run.GeneralNode) (kw int, known 
 	return w, true, nil
 }
 
+// Weight is the weight-only query of the batched plane. Handle never
+// materializes witnesses, so it coincides with KnowledgeWeight; it exists so
+// Extended, Online and Handle expose one weight-only contract.
+func (h *Handle) Weight(theta1, theta2 run.GeneralNode) (kw int, known bool, err error) {
+	return h.KnowledgeWeight(theta1, theta2)
+}
+
 // Knows reports whether K_sigma(theta1 --x--> theta2) holds at the agent's
 // current state, agreeing exactly with Extended.Knows on a fresh build.
 func (h *Handle) Knows(theta1 run.GeneralNode, x int, theta2 run.GeneralNode) (bool, error) {
@@ -786,4 +809,25 @@ func (h *Handle) Knows(theta1 run.GeneralNode, x int, theta2 run.GeneralNode) (b
 		return false, err
 	}
 	return known && kw >= x, nil
+}
+
+// KnowsAt evaluates a threshold grid against one weight computation:
+// holds[i] is set to Knows(theta1, xs[i], theta2) for the price of a single
+// (possibly cache-warm) restricted SPFA. holds must have at least len(xs)
+// entries. The grid answers count as batched queries on both the handle and
+// the engine: len(xs) served, len(xs)-1 of them without their own
+// relaxation.
+func (h *Handle) KnowsAt(theta1 run.GeneralNode, xs []int, theta2 run.GeneralNode, holds []bool) (kw int, known bool, err error) {
+	kw, known, err = h.KnowledgeWeight(theta1, theta2)
+	if err != nil {
+		return 0, false, err
+	}
+	for i, x := range xs {
+		holds[i] = known && kw >= x
+	}
+	h.stats.BatchQueries += int64(len(xs))
+	h.stats.BatchHits += int64(len(xs) - 1)
+	h.shared.eng.stats.batchQueries.Add(int64(len(xs)))
+	h.shared.eng.stats.batchHits.Add(int64(len(xs) - 1))
+	return kw, known, nil
 }

@@ -42,6 +42,18 @@ type Protocol2 struct {
 	// Shared subscribes the agent to a per-run shared knowledge engine
 	// instead of a private bounds.Online; it takes precedence over Rebuild.
 	Shared *bounds.Shared
+	// XGrid, when non-empty, switches the agent into batched x-fanout mode:
+	// at every state it computes the knowledge weight ONCE (the weight-only
+	// plane, KnowsAt) and evaluates every threshold of the grid against it,
+	// recording per threshold the first state at which the required
+	// precedence became known (XDecisions). The agent emits no actions in
+	// this mode — its recorded decision trajectory stands in for the acts of
+	// one dedicated agent per grid entry, which is sound exactly when acting
+	// cannot feed back into the delivery schedule (terminal acts; see
+	// scenario.Scenario.ActFeedback). Knowledge gain is monotone, so the
+	// recorded state for threshold x is precisely where a dedicated agent
+	// with Task.X = x would have acted.
+	XGrid []int
 
 	acted    bool
 	err      error
@@ -49,7 +61,32 @@ type Protocol2 struct {
 	reason   error
 	engine   *bounds.Online
 	handle   *bounds.Handle
+
+	// goFound memoizes the resolution of C's go node: the view's external
+	// log is append-only, so once found neither sigmaC nor the derived chain
+	// node at A can move, and re-running FindExternal per state is waste.
+	goFound bool
+	aNode   run.GeneralNode
+
+	// Batched x-fanout working state: per-grid-entry decisions, the count of
+	// still-undecided entries, and the reusable KnowsAt verdict buffer.
+	xDecided []XDecision
+	xLeft    int
+	holds    []bool
 }
+
+// XDecision records, for one XGrid threshold, the first agent state at which
+// the required precedence became known. Node identifies that state's origin
+// on the agent's timeline; the agent is clockless, so harvesters derive the
+// act TIME from the recording (run.Run.Time), never from the agent.
+type XDecision struct {
+	Decided bool
+	Node    run.BasicNode
+}
+
+// XDecisions returns the agent's per-threshold decision trajectory, indexed
+// like XGrid (nil before the first state of a batched run).
+func (p *Protocol2) XDecisions() []XDecision { return p.xDecided }
 
 // TaskLabel is the canonical act label of the i-th task of a multi-agent
 // harness ("b1", "b2", ...). Sweep live cells, the CLI cross-check and the
@@ -123,30 +160,30 @@ func (p *Protocol2) HandleStats() bounds.HandleStats {
 	return bounds.HandleStats{}
 }
 
-// knows answers the agent's knowledge query on whichever engine the agent
-// is configured with — shared handle, rebuild-per-state baseline, or the
-// default private incremental engine. Every execution mode (goroutine and
-// replay alike) funnels through this one dispatch, so adding a mode never
-// copies the engine selection.
-func (p *Protocol2) knows(v *run.View, theta1, theta2 run.GeneralNode) (bool, error) {
+// engineFor resolves the engine serving this state — shared handle,
+// rebuild-per-state baseline, or the default private incremental engine.
+// Exactly one of the returns is non-nil on success. Every execution mode
+// (goroutine and replay alike) funnels through this one dispatch, so adding
+// a mode never copies the engine selection.
+func (p *Protocol2) engineFor(v *run.View) (*bounds.Handle, *bounds.Online, *bounds.Extended, error) {
 	switch {
 	case p.Shared != nil:
 		if p.handle == nil {
 			h, err := p.Shared.NewHandle(v)
 			if err != nil {
-				return false, err
+				return nil, nil, nil, err
 			}
 			p.handle = h
 		} else if p.handle.View() != v {
-			return false, errDifferentView
+			return nil, nil, nil, errDifferentView
 		}
-		return p.handle.Knows(theta1, p.Task.X, theta2)
+		return p.handle, nil, nil, nil
 	case p.Rebuild:
 		ext, err := bounds.NewExtendedFromView(v)
 		if err != nil {
-			return false, err
+			return nil, nil, nil, err
 		}
-		return ext.Knows(theta1, p.Task.X, theta2)
+		return nil, nil, ext, nil
 	default:
 		if p.engine == nil {
 			p.engine = bounds.NewOnline(v)
@@ -154,48 +191,99 @@ func (p *Protocol2) knows(v *run.View, theta1, theta2 run.GeneralNode) (bool, er
 			// The incremental engine is bound to the view it was built on; a
 			// harness that hands one agent two different views would
 			// otherwise get silently stale answers.
-			return false, errDifferentView
+			return nil, nil, nil, errDifferentView
 		}
-		return p.engine.Knows(theta1, p.Task.X, theta2)
+		return nil, p.engine, nil, nil
 	}
+}
+
+// knows answers the agent's single-threshold knowledge query.
+func (p *Protocol2) knows(v *run.View, theta1, theta2 run.GeneralNode) (bool, error) {
+	h, o, ext, err := p.engineFor(v)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case h != nil:
+		return h.Knows(theta1, p.Task.X, theta2)
+	case ext != nil:
+		return ext.Knows(theta1, p.Task.X, theta2)
+	default:
+		return o.Knows(theta1, p.Task.X, theta2)
+	}
+}
+
+// knowsAt answers the whole XGrid against one weight computation, filling
+// p.holds.
+func (p *Protocol2) knowsAt(v *run.View, theta1, theta2 run.GeneralNode) error {
+	h, o, ext, err := p.engineFor(v)
+	if err != nil {
+		return err
+	}
+	switch {
+	case h != nil:
+		_, _, err = h.KnowsAt(theta1, p.XGrid, theta2, p.holds)
+	case ext != nil:
+		_, _, err = ext.KnowsAt(theta1, p.XGrid, theta2, p.holds)
+	default:
+		_, _, err = o.KnowsAt(theta1, p.XGrid, theta2, p.holds)
+	}
+	return err
+}
+
+// noteQueryErr absorbs a knowledge-query error: an ErrPositiveCycle means
+// the engine refuted a communication bound from the view's own structure —
+// some promised delivery verifiably failed to arrive in its window. That is
+// the agent DETECTING a model violation, not an internal failure — degrade
+// exactly as if the environment had flagged it. (The injector's taint
+// frontier normally flags the agent first; this is the belt-and-braces path
+// for violation shapes the agent can refute by inference alone.) Any other
+// error is internal and sticks in p.err.
+func (p *Protocol2) noteQueryErr(err error) {
+	if errors.Is(err, graph.ErrPositiveCycle) {
+		p.Degrade(fmt.Errorf("%w: agent's knowledge graph refutes a channel bound: %v",
+			faults.ErrBoundViolation, err))
+		return
+	}
+	p.err = err
 }
 
 // OnState implements Agent.
 func (p *Protocol2) OnState(v *run.View, _ []string) []string {
-	if p.acted || p.err != nil || p.degraded {
+	done := p.acted
+	if len(p.XGrid) > 0 {
+		done = p.xDecided != nil && p.xLeft == 0
+	}
+	if done || p.err != nil || p.degraded {
 		return nil
 	}
-	label := p.Task.GoLabel
-	if label == "" {
-		label = "go"
+	if !p.goFound {
+		label := p.Task.GoLabel
+		if label == "" {
+			label = "go"
+		}
+		sigmaC, ok := v.FindExternal(p.Task.C, label)
+		if !ok {
+			return nil // C's send is not yet in B's past
+		}
+		// The external log is append-only: once found, the go node and the
+		// chain node it induces at A are fixed for the rest of the run.
+		p.goFound = true
+		p.aNode = run.At(sigmaC).Hop(p.Task.A)
 	}
-	sigmaC, ok := v.FindExternal(p.Task.C, label)
-	if !ok {
-		return nil // C's send is not yet in B's past
-	}
-	aNode := run.At(sigmaC).Hop(p.Task.A)
 	sigma := run.At(v.Origin())
 	var theta1, theta2 run.GeneralNode
 	if p.Task.Kind == coord.Late {
-		theta1, theta2 = aNode, sigma
+		theta1, theta2 = p.aNode, sigma
 	} else {
-		theta1, theta2 = sigma, aNode
+		theta1, theta2 = sigma, p.aNode
+	}
+	if len(p.XGrid) > 0 {
+		return p.onStateGrid(v, theta1, theta2)
 	}
 	knows, err := p.knows(v, theta1, theta2)
 	if err != nil {
-		if errors.Is(err, graph.ErrPositiveCycle) {
-			// The engine refuted a communication bound from the view's own
-			// structure: some promised delivery verifiably failed to arrive in
-			// its window. That is the agent DETECTING a model violation, not an
-			// internal failure — degrade exactly as if the environment had
-			// flagged it. (The injector's taint frontier normally flags the
-			// agent first; this is the belt-and-braces path for violation
-			// shapes the agent can refute by inference alone.)
-			p.Degrade(fmt.Errorf("%w: agent's knowledge graph refutes a channel bound: %v",
-				faults.ErrBoundViolation, err))
-			return nil
-		}
-		p.err = err
+		p.noteQueryErr(err)
 		return nil
 	}
 	if !knows {
@@ -211,4 +299,32 @@ func (p *Protocol2) OnState(v *run.View, _ []string) []string {
 		return []string{"b"}
 	}
 	return []string{p.ActLabel}
+}
+
+// onStateGrid is the batched x-fanout state step: one weight computation,
+// every grid threshold compared against it, newly satisfied thresholds
+// stamped with this state. The agent acts for no threshold — the decision
+// trajectory IS the deliverable — and keeps querying until the whole grid is
+// decided (or the run ends with part of it open).
+func (p *Protocol2) onStateGrid(v *run.View, theta1, theta2 run.GeneralNode) []string {
+	if p.xDecided == nil {
+		p.xDecided = make([]XDecision, len(p.XGrid))
+		p.holds = make([]bool, len(p.XGrid))
+		p.xLeft = len(p.XGrid)
+	}
+	if err := p.knowsAt(v, theta1, theta2); err != nil {
+		p.noteQueryErr(err)
+		return nil
+	}
+	node := v.Origin()
+	for i := range p.XGrid {
+		if !p.xDecided[i].Decided && p.holds[i] {
+			p.xDecided[i] = XDecision{Decided: true, Node: node}
+			p.xLeft--
+		}
+	}
+	if p.xLeft == 0 && p.handle != nil {
+		p.handle.Release()
+	}
+	return nil
 }

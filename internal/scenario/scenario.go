@@ -38,6 +38,22 @@ type Scenario struct {
 	// cells run live-only and bypass the standing-prefix cache — their
 	// recordings are not legal runs.
 	FaultFamily string
+	// XBase and XValue mark this scenario as one variant of an x-override
+	// axis: XBase names the base scenario (identical network, externals and
+	// horizon across the whole family — only task thresholds differ) and
+	// XValue is the applied override. sweep.Axes sets both when it expands a
+	// multi-x grid; sweeps use them to collapse the x axis of live cells,
+	// since variants differing only in task X record identical runs and one
+	// batched execution can answer the whole family.
+	XBase  string
+	XValue int
+	// ActFeedback declares that agent actions feed back into the delivery
+	// schedule (a chained-coordination family, where one agent's act
+	// triggers another's go, would set it). Recordings are then no longer
+	// act-independent, so x-batched sweep cells must fall back to dedicated
+	// per-x executions. Every current family is terminal-act: the flag
+	// stays false.
+	ActFeedback bool
 }
 
 // TaskList returns the scenario's concurrent coordination tasks, falling

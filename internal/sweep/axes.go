@@ -70,10 +70,14 @@ func (a Axes) Scenarios() ([]*scenario.Scenario, error) {
 				}
 				// A single-point x axis keeps the plain names (matching the
 				// historical `-sweep -x n` output); rows only need the suffix
-				// when several x values share one grid.
+				// when several x values share one grid. XBase/XValue mark the
+				// variant family so the grid can collapse the x axis of live
+				// cells onto one batched execution per base scenario.
 				if len(xs) > 1 {
 					cp := *cell
 					cp.Name = fmt.Sprintf("%s@x=%d", cell.Name, x)
+					cp.XBase = cell.Name
+					cp.XValue = x
 					cell = &cp
 				}
 				if seen[cell.Name] {

@@ -93,6 +93,53 @@ type Grid struct {
 	Seeds    []int64
 	// Workers bounds concurrent cells; <= 0 means GOMAXPROCS.
 	Workers int
+	// NoXBatch disables the x-axis collapse of live cells: every per-x
+	// variant runs its own dedicated execution, as before the batched
+	// knowledge-query plane. The differential tests and the per-x baseline
+	// benchmark run with it set; sweeps leave it false.
+	NoXBatch bool
+}
+
+// xBatchable reports whether a live cell may join an x-batched group: it
+// must be a marked x-axis variant (sweep.Axes sets XBase), fault-free (a
+// faulted execution's degradation timing may depend on when agents stop
+// querying, which differs per x) and terminal-act (an ActFeedback scenario's
+// recordings depend on the acts themselves, so per-x runs genuinely differ).
+func (g Grid) xBatchable(sc *scenario.Scenario) bool {
+	return !g.NoXBatch && sc.XBase != "" && sc.FaultFamily == "" && !sc.ActFeedback
+}
+
+// xJoinable reports whether two x-axis variants of one base scenario record
+// the identical run: same network content, externals and horizon, and task
+// vectors equal modulo the per-task separation X — the one field the x axis
+// is allowed to move. An axis point whose override leaked further (a
+// scenario builder deriving bounds or schedules from x, like the domain
+// scenarios' hold times) must not share an execution; its variants fall
+// back to dedicated cells.
+func xJoinable(a, b *scenario.Scenario) bool {
+	if a.Net.Fingerprint() != b.Net.Fingerprint() || a.Horizon != b.Horizon {
+		return false
+	}
+	if len(a.Externals) != len(b.Externals) {
+		return false
+	}
+	for i := range a.Externals {
+		if a.Externals[i] != b.Externals[i] {
+			return false
+		}
+	}
+	ta, tb := a.TaskList(), b.TaskList()
+	if len(ta) != len(tb) {
+		return false
+	}
+	for i := range ta {
+		t := ta[i]
+		t.X = tb[i].X
+		if t != tb[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // liveMode resolves the grid's live execution mode, defaulting to replay.
@@ -164,6 +211,14 @@ type Result struct {
 	Degraded   int
 	Crashed    int
 	Violations int
+
+	// XFanout, on the primary row of an x-batched group, is the number of
+	// per-x result rows answered by this cell's single execution (its own
+	// included); zero on fanned-out rows and in dedicated mode. Execution
+	// attribution — prefix traffic, replay streaming, agent counters — also
+	// lands on the primary row: the fanned rows ran no execution of their
+	// own.
+	XFanout int
 }
 
 // Result.Prefix values.
@@ -233,25 +288,52 @@ func (g Grid) RunWithEngines() ([]Result, EngineReport, error) {
 		}
 	}
 
-	// Carve the grid into jobs: one sequential block per network holding its
-	// deterministic live cells, singleton jobs (subslices of one shared
-	// backing) for everything else.
-	all := make([]int, g.Size())
-	blocks := make(map[uint64][]int)
+	// Group the cells into units first: an x-batched group (every per-x
+	// variant of one base scenario under one policy and seed — their
+	// recordings are identical, so ONE execution answers all of them) or a
+	// single cell. Variants enumerate scenario-major, so the group's cells
+	// accumulate in x-axis order with the first variant as the primary.
+	nSeeds, nPols := len(g.Seeds), len(g.Policies)
+	type unit struct{ cells []int }
+	type xkey struct {
+		base      string
+		pol, seed int
+	}
+	var units []unit
+	groupOf := make(map[xkey]int)
+	for i := 0; i < g.Size(); i++ {
+		sc, _, _, isLive := g.decode(i)
+		if isLive && g.xBatchable(sc) {
+			k := xkey{base: sc.XBase, pol: (i / nSeeds) % nPols, seed: i % nSeeds}
+			if ui, ok := groupOf[k]; ok {
+				first, _, _, _ := g.decode(units[ui].cells[0])
+				if xJoinable(first, sc) {
+					units[ui].cells = append(units[ui].cells, i)
+					continue
+				}
+			} else {
+				groupOf[k] = len(units)
+			}
+		}
+		units = append(units, unit{cells: []int{i}})
+	}
+
+	// Carve the units into jobs: one sequential block per network holding its
+	// deterministic live units, singleton jobs for everything else.
+	blocks := make(map[uint64][]unit)
 	var blockOrder []uint64
-	var jobList [][]int
-	for i := range all {
-		all[i] = i
+	var jobList [][]unit
+	for _, u := range units {
 		// Faulted cells never join a deterministic block: their recordings
 		// are not legal runs and must bypass the standing-prefix cache.
-		if sc, spec, _, isLive := g.decode(i); isLive && spec.Deterministic && sc.FaultFamily == "" {
+		if sc, spec, _, isLive := g.decode(u.cells[0]); isLive && spec.Deterministic && sc.FaultFamily == "" {
 			fp := sc.Net.Fingerprint()
 			if blocks[fp] == nil {
 				blockOrder = append(blockOrder, fp)
 			}
-			blocks[fp] = append(blocks[fp], i)
+			blocks[fp] = append(blocks[fp], u)
 		} else {
-			jobList = append(jobList, all[i:i+1])
+			jobList = append(jobList, []unit{u})
 		}
 	}
 	for _, fp := range blockOrder {
@@ -268,15 +350,19 @@ func (g Grid) RunWithEngines() ([]Result, EngineReport, error) {
 
 	memo := &fpMemo{m: make(map[fpMemoKey]uint64)}
 	results := make([]Result, g.Size())
-	jobs := make(chan []int)
+	jobs := make(chan []unit)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for job := range jobs {
-				for _, i := range job {
-					results[i] = g.cell(i, engines, memo)
+				for _, u := range job {
+					if len(u.cells) == 1 {
+						results[u.cells[0]] = g.cell(u.cells[0], engines, memo)
+					} else {
+						g.xBatch(u.cells, engines, memo, results)
+					}
 				}
 			}
 		}()
@@ -303,6 +389,9 @@ func (g Grid) RunWithEngines() ([]Result, EngineReport, error) {
 		rep.Stats.RevRelaxations += st.RevRelaxations
 		rep.Stats.ReplayBatches += st.ReplayBatches
 		rep.Stats.ReplayChunks += st.ReplayChunks
+		rep.Stats.BatchQueries += st.BatchQueries
+		rep.Stats.BatchHits += st.BatchHits
+		rep.Stats.XFanout += st.XFanout
 	}
 	return results, rep, nil
 }
@@ -477,6 +566,134 @@ func liveCell(sc *scenario.Scenario, spec PolicySpec, seed int64, mode string, e
 	return res
 }
 
+// xBatch executes one x-batched group of live cells — every per-x variant of
+// one base scenario under one (policy, seed) — through a single execution,
+// scattering one Result per cell into results. Panics are recovered into
+// every cell of the group, mirroring Grid.cell.
+func (g Grid) xBatch(cells []int, engines map[uint64]*bounds.NetworkEngine, memo *fpMemo, results []Result) {
+	scs := make([]*scenario.Scenario, len(cells))
+	var spec PolicySpec
+	var seed int64
+	for j, i := range cells {
+		scs[j], spec, seed, _ = g.decode(i)
+	}
+	mode := g.liveMode()
+	defer func() {
+		if r := recover(); r != nil {
+			for j, i := range cells {
+				results[i] = Result{Scenario: scs[j].Name, Policy: spec.Name, Seed: seed,
+					Mode: mode, Err: fmt.Errorf("sweep: cell panicked: %v", r)}
+			}
+		}
+	}()
+	rs := xBatchCells(scs, spec, seed, mode, engines[scs[0].Net.Fingerprint()], memo)
+	for j, i := range cells {
+		results[i] = rs[j]
+	}
+}
+
+// xBatchCells is the batched counterpart of liveCell. The group's variants
+// differ only in task thresholds, and acts are terminal in x-batchable
+// scenarios (no feedback into the delivery schedule), so every variant
+// records the identical run: ONE execution is driven with each agent in
+// batched x-fanout mode (live.Protocol2.XGrid holding its per-variant
+// thresholds), and the per-variant act rows are derived from the agents'
+// decision trajectories — knowledge gain is monotone, so the state at which
+// threshold x became known is exactly where a dedicated agent with that
+// threshold acts. Execution-level attribution (run shape is shared; prefix,
+// replay streaming and agent counters are real once) lands on the primary
+// (first) variant row, which also carries XFanout = group size.
+func xBatchCells(scs []*scenario.Scenario, spec PolicySpec, seed int64, mode string, eng *bounds.NetworkEngine, memo *fpMemo) []Result {
+	rs := make([]Result, len(scs))
+	for j := range rs {
+		rs[j] = Result{Scenario: scs[j].Name, Policy: spec.Name, Seed: seed, Mode: mode}
+	}
+	fail := func(err error) []Result {
+		for j := range rs {
+			rs[j].Err = err
+		}
+		return rs
+	}
+	sc0 := scs[0]
+	var runFP uint64
+	if spec.Deterministic {
+		fp, err := memo.fingerprint(sc0, spec, seed)
+		if err != nil {
+			return fail(err)
+		}
+		runFP = fp
+	}
+	tasks := sc0.TaskList()
+	agents, agentMap := live.NewTaskAgents(tasks)
+	for j := range agents {
+		grid := make([]int, len(scs))
+		for v := range scs {
+			grid[v] = scs[v].TaskList()[j].X
+		}
+		agents[j].XGrid = grid
+	}
+	exec := live.Run
+	if mode == ModeReplay {
+		exec = live.Replay
+	}
+	out, err := exec(live.Config{
+		Net: sc0.Net, Horizon: sc0.Horizon, Policy: spec.New(seed),
+		Externals: sc0.Externals, Agents: agentMap, Engine: eng,
+		Fingerprint: runFP,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	for j := range agents {
+		if aerr := agents[j].Err(); aerr != nil {
+			return fail(fmt.Errorf("agent %s: %w", live.TaskLabel(j), aerr))
+		}
+	}
+	for v := range rs {
+		res := &rs[v]
+		res.Nodes = out.Run.NumNodes()
+		res.Deliveries = len(out.Run.Deliveries())
+		res.Pending = len(out.Run.PendingMessages())
+		res.Agents = len(tasks)
+		actTime := -1
+		for j := range agents {
+			d := agents[j].XDecisions()
+			if d == nil || !d[v].Decided {
+				continue
+			}
+			res.AgentsActed++
+			t, terr := out.Run.Time(d[v].Node)
+			if terr != nil {
+				return fail(terr)
+			}
+			if actTime < 0 || int(t) < actTime {
+				actTime = int(t)
+			}
+		}
+		if actTime >= 0 {
+			res.ActTime = actTime
+		}
+	}
+	res0 := &rs[0]
+	res0.ReplayBatches = out.ReplayBatches
+	res0.ReplayChunks = out.ReplayChunks
+	if runFP != 0 {
+		if out.PrefixHit {
+			res0.Prefix = PrefixHit
+		} else {
+			res0.Prefix = PrefixMiss
+		}
+	}
+	for j := range agents {
+		res0.Rev.Add(agents[j].HandleStats())
+	}
+	res0.XFanout = len(scs)
+	if eng != nil {
+		eng.NoteXFanout(int64(len(scs) - 1))
+	}
+	return rs
+}
+
 // Aggregate summarizes all cells of one (scenario, policy, mode) triple.
 type Aggregate struct {
 	Scenario string
@@ -517,6 +734,10 @@ type Aggregate struct {
 	Degraded   int
 	Crashed    int
 	Violations int
+
+	// XFanout sums the per-x rows answered by the group's x-batched
+	// executions (zero in dedicated mode).
+	XFanout int
 
 	// FirstErr is the first cell error of the group in enumeration order
 	// ("" when every cell succeeded) — the chaos sweep's machine-checkable
@@ -573,6 +794,7 @@ func Summarize(results []Result) []Aggregate {
 		a.Rev.Add(res.Rev)
 		a.ReplayBatches += res.ReplayBatches
 		a.ReplayChunks += res.ReplayChunks
+		a.XFanout += res.XFanout
 	}
 	for i := range aggs {
 		s := samples[key{aggs[i].Scenario, aggs[i].Policy, aggs[i].Mode}]
@@ -591,14 +813,17 @@ func Summarize(results []Result) []Aggregate {
 // bypasses the cache); the rev column reads warm-hits/reverse-queries over
 // the group's reverse-cache traffic ("-" when no agent hit the Early
 // shape); the replay column reads batches/chunks streamed by replay-mode
-// cells ("-" for sim and goroutine-mode rows). Fault-injected groups fill
-// the degr column (degraded agents / agents hosted, plus the group's
-// injected violations) and the err column carries the group's first cell
-// error, truncated — "-" everywhere for clean groups.
+// cells ("-" for sim and goroutine-mode rows); the batch column reads
+// free-hits/answers over the group's batched knowledge queries with the
+// x-fanout row count in parentheses on primary rows ("-" when the group ran
+// nothing batched). Fault-injected groups fill the degr column (degraded
+// agents / agents hosted, plus the group's injected violations) and the err
+// column carries the group's first cell error, truncated — "-" everywhere
+// for clean groups.
 func Table(aggs []Aggregate) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix\trev\treplay\tdegr\terr")
+	fmt.Fprintln(tw, "scenario\tmode\tpolicy\truns\terrs\tnodes\tdeliveries\tacted\tgap(mean)\tgap[min,max]\tprefix\trev\treplay\tbatch\tdegr\terr")
 	for _, a := range aggs {
 		acted := "-"
 		gapMean := "-"
@@ -625,6 +850,13 @@ func Table(aggs []Aggregate) string {
 		if a.ReplayBatches > 0 {
 			replay = fmt.Sprintf("%d/%d", a.ReplayBatches, a.ReplayChunks)
 		}
+		batch := "-"
+		if a.Rev.BatchQueries > 0 || a.XFanout > 0 {
+			batch = fmt.Sprintf("%d/%d", a.Rev.BatchHits, a.Rev.BatchQueries)
+			if a.XFanout > 0 {
+				batch += fmt.Sprintf(" (x%d)", a.XFanout)
+			}
+		}
 		degr := "-"
 		if a.Degraded > 0 || a.Crashed > 0 || a.Violations > 0 {
 			degr = fmt.Sprintf("%d/%d (%dv)", a.Degraded, a.AgentRuns, a.Violations)
@@ -640,9 +872,9 @@ func Table(aggs []Aggregate) string {
 		if mode == "" {
 			mode = ModeSim
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.1f\t%.1f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			a.Scenario, mode, a.Policy, a.Runs, a.Errors, a.Nodes.Mean, a.Deliveries.Mean,
-			acted, gapMean, gapRange, prefix, rev, replay, degr, errCol)
+			acted, gapMean, gapRange, prefix, rev, replay, batch, degr, errCol)
 	}
 	tw.Flush()
 	return b.String()

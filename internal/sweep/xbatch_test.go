@@ -1,0 +1,222 @@
+package sweep_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/clockless/zigzag/internal/bounds"
+	"github.com/clockless/zigzag/internal/coord"
+	"github.com/clockless/zigzag/internal/scenario"
+	"github.com/clockless/zigzag/internal/sim"
+	"github.com/clockless/zigzag/internal/sweep"
+)
+
+// xAxisXs is the threshold axis the batched-x differentials sweep.
+var xAxisXs = []int{0, 2, 4}
+
+// xVariantScenarios expands the full registry (coordination families raised
+// to m=16) across the x axis and appends per-x copies of the chaos family's
+// coord-faulty scenarios, mirroring what `-sweep -sweep-x -sweep-faults`
+// would enumerate. The faulty copies carry XBase/XValue like any axis
+// variant; the batching gate must refuse them anyway.
+func xVariantScenarios(t *testing.T) []*scenario.Scenario {
+	t.Helper()
+	scs, err := sweep.Axes{Xs: xAxisXs, MaxCoordM: 16}.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xAxisXs {
+		for _, sc := range scenario.FaultyFamily() {
+			if !strings.HasSuffix(sc.Name, "-chaos") {
+				continue
+			}
+			cp := *sc
+			cp.Name = fmt.Sprintf("%s@x=%d", sc.Name, x)
+			cp.XBase = sc.Name
+			cp.XValue = x
+			if x != 0 {
+				cp.Tasks = append([]coord.Task(nil), sc.Tasks...)
+				for i := range cp.Tasks {
+					cp.Tasks[i].X = x
+				}
+				cp.Task = &cp.Tasks[0]
+			}
+			scs = append(scs, &cp)
+		}
+	}
+	return scs
+}
+
+func xGrid(t *testing.T, mode string, noXBatch bool) sweep.Grid {
+	return sweep.Grid{
+		Live:     xVariantScenarios(t),
+		LiveMode: mode,
+		Policies: []sweep.PolicySpec{
+			{Name: "eager", New: func(int64) sim.Policy { return sim.Eager{} }, Deterministic: true},
+			{Name: "random", New: func(seed int64) sim.Policy { return sim.NewRandom(seed) }},
+		},
+		Seeds:    []int64{1},
+		Workers:  0,
+		NoXBatch: noXBatch,
+	}
+}
+
+// semantic strips a Result down to the fields with run-level meaning,
+// erasing execution attribution: the mode tag, prefix-cache verdict,
+// reverse/batch engine counters, replay streaming tallies and the fanout
+// marker all describe HOW the answer was computed — an x-batched group
+// legitimately concentrates them on its primary row — while everything kept
+// here must be byte-identical between a batched group and dedicated per-x
+// executions.
+func semantic(r sweep.Result) sweep.Result {
+	r.Mode = ""
+	r.Prefix = ""
+	r.Rev = bounds.HandleStats{}
+	r.ReplayBatches, r.ReplayChunks = 0, 0
+	r.XFanout = 0
+	return r
+}
+
+// TestXBatchMatchesDedicatedCells is the batched sweep's acceptance
+// differential: over the full registry expanded across the x axis — the
+// m=16 coordination families and the chaos-family coord-faulty scenarios
+// included — every per-x row of the batched grid is semantically identical
+// to a dedicated per-x execution of the same cell, in both replay and
+// goroutine live modes; batchable families actually collapse (XFanout
+// covers the whole x axis) and the faulted cells are refused batching.
+func TestXBatchMatchesDedicatedCells(t *testing.T) {
+	batched, err := xGrid(t, sweep.ModeReplay, false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedicated, err := xGrid(t, sweep.ModeReplay, true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := xGrid(t, sweep.ModeLive, true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(dedicated) || len(batched) != len(oracle) {
+		t.Fatalf("result counts differ: %d batched, %d dedicated, %d goroutine",
+			len(batched), len(dedicated), len(oracle))
+	}
+	sawEarly16 := false
+	for i := range batched {
+		b, d, o := batched[i], dedicated[i], oracle[i]
+		if b.Err != nil || d.Err != nil || o.Err != nil {
+			t.Fatalf("%s/%s seed %d: cell error: batched=%v dedicated=%v goroutine=%v",
+				b.Scenario, b.Policy, b.Seed, b.Err, d.Err, o.Err)
+		}
+		if strings.HasPrefix(b.Scenario, "coord-early-m16@") {
+			sawEarly16 = true
+		}
+		if !reflect.DeepEqual(semantic(b), semantic(d)) {
+			t.Errorf("cell %d differs from dedicated per-x execution:\n batched   %+v\n dedicated %+v",
+				i, semantic(b), semantic(d))
+		}
+		if !reflect.DeepEqual(semantic(b), semantic(o)) {
+			t.Errorf("cell %d differs from goroutine oracle:\n batched   %+v\n goroutine %+v",
+				i, semantic(b), semantic(o))
+		}
+		if d.XFanout != 0 || o.XFanout != 0 {
+			t.Errorf("cell %d: dedicated run reports fanout %d/%d, want 0",
+				i, d.XFanout, o.XFanout)
+		}
+		if strings.Contains(b.Scenario, "coord-faulty") && b.XFanout != 0 {
+			t.Errorf("%s: faulted cell joined an x batch (fanout %d)", b.Scenario, b.XFanout)
+		}
+	}
+	if !sawEarly16 {
+		t.Fatal("grid lost the coord-early-m16 family")
+	}
+
+	// Fanout accounting: within the batched run, each base family's rows
+	// under one (policy, seed) either collapsed onto one primary answering
+	// the whole axis, or (join refused: the x override moved more than task
+	// thresholds, or faults) ran dedicated with no fanout at all.
+	fanout := map[string]int{}
+	rows := map[string]int{}
+	for _, r := range batched {
+		base, _, isVariant := strings.Cut(r.Scenario, "@x=")
+		if !isVariant {
+			continue
+		}
+		key := base + "/" + r.Policy
+		rows[key]++
+		fanout[key] += r.XFanout
+	}
+	collapsed := 0
+	for key, n := range rows {
+		if fanout[key] != 0 && fanout[key] != n {
+			t.Errorf("%s: fanout %d covers only part of the %d-row x axis", key, fanout[key], n)
+		}
+		if fanout[key] == n {
+			collapsed++
+		}
+		if strings.Contains(key, "coord-faulty") && fanout[key] != 0 {
+			t.Errorf("%s: faulted family batched (fanout %d)", key, fanout[key])
+		}
+	}
+	if collapsed == 0 {
+		t.Fatal("no x-axis family collapsed onto a batched execution")
+	}
+	for _, key := range []string{"coord-m16/eager", "coord-early-m16/random"} {
+		if fanout[key] != rows[key] || rows[key] != len(xAxisXs) {
+			t.Errorf("%s: fanout %d over %d rows, want full %d-point collapse",
+				key, fanout[key], rows[key], len(xAxisXs))
+		}
+	}
+}
+
+// TestXBatchActFeedbackGate pins the chained-coordination escape hatch: a
+// scenario family declaring ActFeedback — its recordings depend on the acts
+// themselves, so per-x runs genuinely differ — is refused batching even
+// with XBase set, and its results match the dedicated path exactly.
+func TestXBatchActFeedbackGate(t *testing.T) {
+	var fam []*scenario.Scenario
+	for _, x := range xAxisXs {
+		base := scenario.MultiAgent(4)
+		cp := *base
+		cp.Name = fmt.Sprintf("%s@x=%d", base.Name, x)
+		cp.XBase = base.Name
+		cp.XValue = x
+		cp.ActFeedback = true
+		if x != 0 {
+			cp.Tasks = append([]coord.Task(nil), base.Tasks...)
+			for i := range cp.Tasks {
+				cp.Tasks[i].X = x
+			}
+			cp.Task = &cp.Tasks[0]
+		}
+		fam = append(fam, &cp)
+	}
+	grid := sweep.Grid{
+		Live: fam,
+		Policies: []sweep.PolicySpec{
+			{Name: "eager", New: func(int64) sim.Policy { return sim.Eager{} }, Deterministic: true},
+		},
+		Seeds: []int64{1},
+	}
+	gated, err := grid.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.NoXBatch = true
+	dedicated, err := grid.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gated {
+		if gated[i].XFanout != 0 {
+			t.Errorf("%s: ActFeedback cell joined an x batch (fanout %d)",
+				gated[i].Scenario, gated[i].XFanout)
+		}
+		if !reflect.DeepEqual(gated[i], dedicated[i]) {
+			t.Errorf("cell %d differs:\n gated     %+v\n dedicated %+v",
+				i, gated[i], dedicated[i])
+		}
+	}
+}
